@@ -1,0 +1,217 @@
+//! FFT — SPLASH-2 six-step 1-D FFT (paper Table 4: 16 K complex points).
+//!
+//! The √n×√n matrix formulation: transpose, per-row FFTs, twiddle +
+//! transpose, per-row FFTs, final transpose. The transposes are all-to-all
+//! block exchanges in which every datum is read exactly once by exactly
+//! one remote processor — no shared-cache reuse at all — while the row
+//! FFTs work on processor-local rows that live happily in the L1/L2.
+//!
+//! Paper reuse class: **Low** (<32% shared-cache hit rate; one of the
+//! three apps where NetCache ≈ LambdaNet).
+
+use crate::gen::{chunked, partition, Alloc, Chunk};
+use crate::ops::OpStream;
+use crate::workload::Workload;
+use memsys::{Addr, AddressMap};
+
+/// Complex-double element size.
+const CPLX: u64 = 16;
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Matrix edge m (= √n; paper n = 16 K points, m = 128).
+    pub m: u64,
+}
+
+impl Params {
+    /// Work is Θ(n log n) ≈ Θ(m² log m); scale the edge by √scale,
+    /// rounded to a power of two.
+    pub fn scaled(scale: f64) -> Self {
+        let target = 128.0 * scale.sqrt();
+        let mut m = 16u64;
+        while (m as f64) < target && m < 128 {
+            m <<= 1;
+        }
+        Self { m }
+    }
+
+    /// Total points.
+    pub fn n(&self) -> u64 {
+        self.m * self.m
+    }
+}
+
+/// One local FFT pass structure over an owned row: log2(m) passes of
+/// butterfly read/write pairs.
+fn row_fft(c: &mut Chunk, base: Addr, m: u64, row: u64) {
+    let passes = 63 - m.leading_zeros() as u64; // log2(m)
+    for pass in 0..passes {
+        let stride = 1u64 << pass;
+        let mut i = 0;
+        while i < m {
+            let j = (i + stride) % m;
+            c.read_at(base + (row * m + i) * CPLX);
+            c.read_at(base + (row * m + j) * CPLX);
+            c.compute(12); // complex butterfly: 10 FLOPs + twiddle index
+            c.write_at(base + (row * m + i) * CPLX);
+            i += 2;
+        }
+    }
+}
+
+/// Transpose: I read *columns* of `src` (striding across every other
+/// processor's rows) and write my rows of `dst`. Patch-blocked and
+/// **staggered** exactly as SPLASH-2 does it: processor `me` walks the
+/// source patches starting at `me + 1`, so at any instant the `p`
+/// processors are reading from `p` different sources instead of all
+/// stampeding the same rows.
+fn transpose(
+    c: &mut Chunk,
+    src: Addr,
+    dst: Addr,
+    m: u64,
+    me: usize,
+    procs: usize,
+    rows: std::ops::Range<u64>,
+) {
+    for k in 0..procs {
+        let sp = (me + 1 + k) % procs;
+        let src_rows = partition(m, procs, sp);
+        for r in rows.clone() {
+            for col in src_rows.clone() {
+                c.read_at(src + (col * m + r) * CPLX);
+                c.compute(4);
+                c.write_at(dst + (r * m + col) * CPLX);
+            }
+        }
+    }
+}
+
+pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
+    let prm = Params::scaled(w.scale);
+    let m = prm.m;
+    let mut alloc = Alloc::new(map);
+    let x = alloc.shared(prm.n(), CPLX);
+    let y = alloc.shared(prm.n(), CPLX);
+    let twiddle = alloc.shared(prm.n(), CPLX);
+    let procs = w.procs;
+
+    (0..procs)
+        .map(move |me| {
+            let rows = partition(m, procs, me);
+            chunked(move |phase| {
+                let mut c = Chunk::with_capacity(((rows.end - rows.start) * m * 4) as usize + 8);
+                match phase {
+                    // Step 1: transpose x -> y.
+                    0 => transpose(&mut c, x, y, m, me, procs, rows.clone()),
+                    // Step 2: FFT each of my rows of y.
+                    1 => {
+                        for r in rows.clone() {
+                            row_fft(&mut c, y, m, r);
+                        }
+                    }
+                    // Step 3: twiddle multiply + transpose y -> x
+                    // (staggered like the plain transposes).
+                    2 => {
+                        for k in 0..procs {
+                            let sp = (me + 1 + k) % procs;
+                            for r in rows.clone() {
+                                for col in partition(m, procs, sp) {
+                                    c.read_at(twiddle + (r * m + col) * CPLX);
+                                    c.read_at(y + (col * m + r) * CPLX);
+                                    c.compute(10);
+                                    c.write_at(x + (r * m + col) * CPLX);
+                                }
+                            }
+                        }
+                    }
+                    // Step 4: FFT each of my rows of x.
+                    3 => {
+                        for r in rows.clone() {
+                            row_fft(&mut c, x, m, r);
+                        }
+                    }
+                    // Step 5: final transpose x -> y.
+                    4 => transpose(&mut c, x, y, m, me, procs, rows.clone()),
+                    _ => return None,
+                }
+                c.barrier(phase as u32);
+                Some(c)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn scaled_edges_are_powers_of_two() {
+        assert_eq!(Params::scaled(1.0).m, 128);
+        assert_eq!(Params::scaled(1.0).n(), 16384);
+        for s in [0.01, 0.05, 0.3, 0.9] {
+            let m = Params::scaled(s).m;
+            assert!(m.is_power_of_two());
+            assert!(m >= 16);
+        }
+    }
+
+    #[test]
+    fn five_phases_with_barriers() {
+        let map = AddressMap::new(4, 64);
+        let w = Workload::new(crate::AppId::Fft, 4).scale(0.02);
+        let bars: Vec<u32> = streams(&w, &map)
+            .remove(0)
+            .filter_map(|o| match o {
+                Op::Barrier(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bars, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn transpose_reads_columns_staggered() {
+        let mut c = Chunk::default();
+        // 1 processor owning all rows degenerates to a plain transpose.
+        transpose(&mut c, 0, 1 << 30, 8, 0, 1, 2..3);
+        let reads: Vec<u64> = c
+            .into_ops()
+            .iter()
+            .filter_map(|o| match o {
+                Op::Read(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        // Reading column 2: addresses 2*16, (8+2)*16, (16+2)*16, ...
+        assert_eq!(reads[0], 2 * CPLX);
+        assert_eq!(reads[1], 10 * CPLX);
+        assert_eq!(reads.len(), 8);
+
+        // With 4 processors, processor 0 starts on processor 1's patch.
+        let mut c = Chunk::default();
+        transpose(&mut c, 0, 1 << 30, 8, 0, 4, 0..2);
+        if let Some(Op::Read(first)) = c.into_ops().first() {
+            // First source column belongs to processor 1 (columns 2..4).
+            assert_eq!(*first, 2 * 8 * CPLX);
+        } else {
+            panic!("no reads");
+        }
+    }
+
+    #[test]
+    fn row_fft_is_local_to_row() {
+        let mut c = Chunk::default();
+        row_fft(&mut c, 0, 16, 3);
+        let lo = 3 * 16 * CPLX;
+        let hi = 4 * 16 * CPLX;
+        for op in c.into_ops() {
+            if let Op::Read(a) | Op::Write(a) = op {
+                assert!(a >= lo && a < hi, "escaped the row: {a}");
+            }
+        }
+    }
+}

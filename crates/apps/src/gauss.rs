@@ -1,0 +1,150 @@
+//! Gauss — unblocked Gaussian elimination without pivoting (paper Table 4:
+//! 256×256 floats; locally developed code).
+//!
+//! Rows are assigned cyclically for load balance. At step `k` the owner
+//! normalizes pivot row `k`; after a barrier every processor eliminates
+//! its rows below `k`, reading the pivot row once per owned row. The pivot
+//! row is therefore read by *all* processors shortly after being produced —
+//! the textbook producer/multi-consumer pattern that the ring shared cache
+//! is built for.
+//!
+//! Paper reuse class: **High** (~70% shared-cache hit rate; the paper's
+//! representative high-reuse app in Figs. 13–15).
+
+use crate::gen::{chunked, Alloc, Chunk, ELEM};
+use crate::ops::OpStream;
+use crate::workload::Workload;
+use memsys::AddressMap;
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Matrix dimension (paper: 256).
+    pub n: u64,
+}
+
+impl Params {
+    /// Work is Θ(n³), so `scale` shrinks the dimension by its cube root.
+    pub fn scaled(scale: f64) -> Self {
+        let n = (256.0 * scale.powf(1.0 / 3.0)).round() as u64;
+        Self {
+            n: (n / 8 * 8).max(48),
+        }
+    }
+}
+
+const COMPUTE_PER_ELEM: u32 = 4;
+
+pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
+    let prm = Params::scaled(w.scale);
+    let n = prm.n;
+    let mut alloc = Alloc::new(map);
+    let a = alloc.shared(n * n, ELEM);
+    let procs = w.procs as u64;
+
+    (0..w.procs)
+        .map(|me| {
+            let me64 = me as u64;
+            chunked(move |k| {
+                if k >= n - 1 {
+                    return None;
+                }
+                let mut c = Chunk::with_capacity((3 * (n - k) * (n - k) / procs) as usize + 64);
+                // Owner normalizes the pivot row (divide by a[k][k]).
+                if k % procs == me64 {
+                    c.read(a, k * n + k, ELEM);
+                    for col in k..n {
+                        c.read(a, k * n + col, ELEM);
+                        c.compute(COMPUTE_PER_ELEM);
+                        c.write(a, k * n + col, ELEM);
+                    }
+                }
+                c.barrier(2 * k as u32);
+                // Everyone eliminates their rows below k.
+                let mut r = k + 1 + ((me64 + procs - (k + 1) % procs) % procs);
+                while r < n {
+                    c.read(a, r * n + k, ELEM); // multiplier
+                    c.compute(COMPUTE_PER_ELEM);
+                    for col in k + 1..n {
+                        c.read(a, k * n + col, ELEM); // pivot row (hot)
+                        c.read(a, r * n + col, ELEM);
+                        c.compute(COMPUTE_PER_ELEM);
+                        c.write(a, r * n + col, ELEM);
+                    }
+                    r += procs;
+                }
+                c.barrier(2 * k as u32 + 1);
+                Some(c)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn scaled_dims() {
+        assert_eq!(Params::scaled(1.0).n, 256);
+        assert!(Params::scaled(0.02).n >= 48);
+        assert!(Params::scaled(0.02).n < 100);
+    }
+
+    #[test]
+    fn every_processor_reads_pivot_row() {
+        let map = AddressMap::new(4, 64);
+        let w = Workload::new(crate::AppId::Gauss, 4).scale(0.02);
+        let n = Params::scaled(0.02).n;
+        let base = memsys::addr::SHARED_BASE;
+        // During step k=0, all four processors must read from row 0.
+        for s in streams(&w, &map) {
+            let mut saw_pivot = false;
+            for op in s {
+                match op {
+                    Op::Barrier(1) => break, // end of step 0
+                    Op::Read(addr) if addr >= base && addr < base + n * 4 => {
+                        saw_pivot = true;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(saw_pivot);
+        }
+    }
+
+    #[test]
+    fn work_shrinks_with_k() {
+        let map = AddressMap::new(2, 64);
+        let w = Workload::new(crate::AppId::Gauss, 2).scale(0.02);
+        let s: Vec<Op> = streams(&w, &map).remove(0).collect();
+        let count_step = |k: u32| {
+            let start = if k == 0 {
+                0
+            } else {
+                s.iter().position(|o| *o == Op::Barrier(2 * k - 1)).unwrap()
+            };
+            let end = s
+                .iter()
+                .position(|o| *o == Op::Barrier(2 * k + 1))
+                .unwrap();
+            s[start..end].iter().filter(|o| o.is_ref()).count()
+        };
+        assert!(count_step(0) > count_step(10));
+        assert!(count_step(10) > count_step(30));
+    }
+
+    #[test]
+    fn cyclic_assignment_balances_rows() {
+        let map = AddressMap::new(4, 64);
+        let w = Workload::new(crate::AppId::Gauss, 4).scale(0.02);
+        let counts: Vec<usize> = streams(&w, &map)
+            .into_iter()
+            .map(|s| s.filter(|o| o.is_ref()).count())
+            .collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.15, "imbalance {counts:?}");
+    }
+}

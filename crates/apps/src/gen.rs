@@ -1,0 +1,258 @@
+//! Trace-generation plumbing shared by all twelve applications.
+//!
+//! Applications build their streams out of three pieces:
+//!
+//! * [`Alloc`] — a bump allocator for the shared region and each node's
+//!   private region, so every app lays out its arrays the same way.
+//! * [`Chunk`] — a builder for one phase's worth of operations (one outer
+//!   iteration, one pivot step, ...). Adjacent [`Op::Compute`]s coalesce so
+//!   chunk sizes stay proportional to the number of *references*.
+//! * [`chunked`] — turns a `FnMut(phase) -> Option<Chunk>` into a lazy
+//!   [`OpStream`], so paper-sized inputs never materialize a full trace.
+
+use crate::ops::{BarrierId, LockId, Op, OpStream};
+use memsys::addr::{self, Addr, AddressMap};
+
+/// Word size used by all applications (f32/i32 elements, paper-era codes).
+pub const ELEM: u64 = addr::WORD_BYTES;
+
+/// Double-word elements (f64) used by CG.
+pub const ELEM8: u64 = 8;
+
+/// Bump allocator over the shared and private regions.
+#[derive(Debug, Clone)]
+pub struct Alloc {
+    shared_next: Addr,
+    private_next: Vec<Addr>,
+}
+
+impl Alloc {
+    /// Fresh allocator for a machine described by `map`.
+    pub fn new(map: &AddressMap) -> Self {
+        Self {
+            shared_next: addr::SHARED_BASE,
+            private_next: (0..map.nodes).map(|n| map.private_base(n)).collect(),
+        }
+    }
+
+    fn bump(slot: &mut Addr, bytes: u64) -> Addr {
+        // Block-align every array so arrays never share coherence blocks.
+        let base = (*slot + 63) & !63;
+        *slot = base + bytes;
+        base
+    }
+
+    /// Allocates `n` elements of `elem` bytes in the shared region.
+    pub fn shared(&mut self, n: u64, elem: u64) -> Addr {
+        Self::bump(&mut self.shared_next, n * elem)
+    }
+
+    /// Allocates `n` elements of `elem` bytes in node `p`'s private region.
+    pub fn private(&mut self, p: usize, n: u64, elem: u64) -> Addr {
+        Self::bump(&mut self.private_next[p], n * elem)
+    }
+
+    /// Total shared bytes allocated so far.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_next - addr::SHARED_BASE
+    }
+}
+
+/// One phase's operations, with compute-coalescing.
+#[derive(Debug, Default, Clone)]
+pub struct Chunk {
+    ops: Vec<Op>,
+}
+
+impl Chunk {
+    /// An empty chunk with room for about `cap` ops.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a read of element `i` (of `elem` bytes) of the array at
+    /// `base`.
+    #[inline]
+    pub fn read(&mut self, base: Addr, i: u64, elem: u64) {
+        self.ops.push(Op::Read(base + i * elem));
+    }
+
+    /// Appends a write of element `i` of the array at `base`.
+    #[inline]
+    pub fn write(&mut self, base: Addr, i: u64, elem: u64) {
+        self.ops.push(Op::Write(base + i * elem));
+    }
+
+    /// Appends a read of a raw byte address.
+    #[inline]
+    pub fn read_at(&mut self, a: Addr) {
+        self.ops.push(Op::Read(a));
+    }
+
+    /// Appends a write of a raw byte address.
+    #[inline]
+    pub fn write_at(&mut self, a: Addr) {
+        self.ops.push(Op::Write(a));
+    }
+
+    /// Appends `n` cycles of computation, merging with a preceding
+    /// `Compute`.
+    #[inline]
+    pub fn compute(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(Op::Compute(c)) = self.ops.last_mut() {
+            *c = c.saturating_add(n);
+        } else {
+            self.ops.push(Op::Compute(n));
+        }
+    }
+
+    /// Appends a barrier.
+    #[inline]
+    pub fn barrier(&mut self, id: BarrierId) {
+        self.ops.push(Op::Barrier(id));
+    }
+
+    /// Appends a lock acquire.
+    #[inline]
+    pub fn acquire(&mut self, id: LockId) {
+        self.ops.push(Op::Acquire(id));
+    }
+
+    /// Appends a lock release.
+    #[inline]
+    pub fn release(&mut self, id: LockId) {
+        self.ops.push(Op::Release(id));
+    }
+
+    /// Number of ops in the chunk.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Consumes the chunk into its op vector.
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+/// Builds a lazy stream from a chunk generator: `next(phase)` is called
+/// with 0, 1, 2, ... and the stream ends when it returns `None`.
+pub fn chunked<F>(mut next: F) -> OpStream
+where
+    F: FnMut(u64) -> Option<Chunk> + Send + 'static,
+{
+    let mut phase = 0u64;
+    Box::new(
+        std::iter::from_fn(move || {
+            let c = next(phase)?;
+            phase += 1;
+            Some(c.into_ops())
+        })
+        .flatten(),
+    )
+}
+
+/// Contiguous 1-D partition: the half-open range of `n` items owned by
+/// processor `p` of `procs`. Remainders spread over the low-numbered
+/// processors (SPLASH-2 style).
+pub fn partition(n: u64, procs: usize, p: usize) -> std::ops::Range<u64> {
+    let procs = procs as u64;
+    let p = p as u64;
+    let base = n / procs;
+    let rem = n % procs;
+    let start = p * base + p.min(rem);
+    let len = base + u64::from(p < rem);
+    start..start + len
+}
+
+/// Deterministic per-(app, processor) RNG stream.
+pub fn stream_rng(seed: u64, app_tag: u64, proc_id: usize) -> desim::Xoshiro256StarStar {
+    let mut mix = desim::SplitMix64::new(seed ^ app_tag.rotate_left(17));
+    for _ in 0..=proc_id {
+        mix.next_u64();
+    }
+    desim::Xoshiro256StarStar::seeded(mix.next_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::AddressMap;
+
+    #[test]
+    fn alloc_block_aligns_and_separates() {
+        let map = AddressMap::new(4, 64);
+        let mut a = Alloc::new(&map);
+        let x = a.shared(10, 4); // 40 bytes
+        let y = a.shared(1, 4);
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 64, "arrays must not share a block");
+        assert!(map.is_shared(x));
+        let px = a.private(2, 5, 4);
+        assert!(!map.is_shared(px));
+        assert_eq!(map.home_of(px), 2);
+    }
+
+    #[test]
+    fn chunk_coalesces_compute() {
+        let mut c = Chunk::default();
+        c.compute(3);
+        c.compute(4);
+        c.read_at(100);
+        c.compute(0);
+        c.compute(2);
+        let ops = c.into_ops();
+        assert_eq!(ops, vec![Op::Compute(7), Op::Read(100), Op::Compute(2)]);
+    }
+
+    #[test]
+    fn chunked_streams_all_phases() {
+        let s = chunked(|phase| {
+            if phase >= 3 {
+                return None;
+            }
+            let mut c = Chunk::default();
+            c.read_at(phase * 8);
+            Some(c)
+        });
+        let ops: Vec<Op> = s.collect();
+        assert_eq!(ops, vec![Op::Read(0), Op::Read(8), Op::Read(16)]);
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        for (n, procs) in [(16u64, 4usize), (17, 4), (5, 8), (100, 16)] {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for p in 0..procs {
+                let r = partition(n, procs, p);
+                assert_eq!(r.start, prev_end, "contiguous");
+                prev_end = r.end;
+                total += r.end - r.start;
+            }
+            assert_eq!(total, n);
+            assert_eq!(prev_end, n);
+        }
+    }
+
+    #[test]
+    fn stream_rngs_are_distinct_and_stable() {
+        let mut a = stream_rng(1, 42, 0);
+        let mut b = stream_rng(1, 42, 1);
+        let mut a2 = stream_rng(1, 42, 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+        let _ = a2.next_u64();
+        assert_eq!(a.next_u64(), a2.next_u64());
+    }
+}

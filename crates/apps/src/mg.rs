@@ -1,0 +1,271 @@
+//! Mg — NAS 3-D multigrid Poisson solver (paper Table 4: 24×24×64 floats,
+//! 6 iterations).
+//!
+//! V-cycles over a four-level grid hierarchy, z-plane partitioned. Each
+//! level runs 7-point-stencil smoothing sweeps, restriction to the next
+//! coarser level on the way down and prolongation on the way up, with a
+//! barrier after every sweep. The coarse grids are tiny (the coarsest is
+//! 3×3×8 points) and are touched by *every* processor each cycle — they
+//! live almost permanently in the shared cache, which is where Mg's high
+//! reuse comes from.
+//!
+//! Paper reuse class: **High** (~70% shared-cache hit rate).
+
+use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
+use crate::ops::OpStream;
+use crate::workload::Workload;
+use memsys::{Addr, AddressMap};
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Finest grid dimensions (paper: 24×24×64).
+    pub nx: u64,
+    /// Grid dimension y.
+    pub ny: u64,
+    /// Grid dimension z (the partitioned axis).
+    pub nz: u64,
+    /// V-cycle count (paper: 6).
+    pub iters: u64,
+    /// Number of levels (finest is level 0).
+    pub levels: usize,
+}
+
+impl Params {
+    /// The grid keeps its paper size; `scale` shrinks the V-cycle count.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            nx: 24,
+            ny: 24,
+            nz: 64,
+            iters: ((6.0 * scale).round() as u64).max(1),
+            levels: 4,
+        }
+    }
+
+    /// Dimensions of level `l` (halved per level, floor 2).
+    pub fn dims(&self, l: usize) -> (u64, u64, u64) {
+        let s = 1u64 << l;
+        (
+            (self.nx / s).max(2),
+            (self.ny / s).max(2),
+            (self.nz / s).max(2),
+        )
+    }
+
+    /// Points at level `l`.
+    pub fn points(&self, l: usize) -> u64 {
+        let (x, y, z) = self.dims(l);
+        x * y * z
+    }
+}
+
+const COMPUTE_PER_POINT: u32 = 24;
+
+struct Level {
+    u: Addr,
+    r: Addr,
+    nx: u64,
+    ny: u64,
+    nz: u64,
+}
+
+impl Level {
+    #[inline]
+    fn at(&self, base: Addr, x: u64, y: u64, z: u64) -> Addr {
+        base + ((z * self.ny + y) * self.nx + x) * ELEM
+    }
+}
+
+/// 7-point smoothing sweep over this processor's z-planes of level `lv`.
+fn smooth(c: &mut Chunk, lv: &Level, zs: std::ops::Range<u64>) {
+    for z in zs {
+        for y in 0..lv.ny {
+            for x in 0..lv.nx {
+                // 6 neighbors (clamped) + center from r, write u.
+                let xm = x.saturating_sub(1);
+                let xp = (x + 1).min(lv.nx - 1);
+                let ym = y.saturating_sub(1);
+                let yp = (y + 1).min(lv.ny - 1);
+                let zm = z.saturating_sub(1);
+                let zp = (z + 1).min(lv.nz - 1);
+                c.read_at(lv.at(lv.u, xm, y, z));
+                c.read_at(lv.at(lv.u, xp, y, z));
+                c.read_at(lv.at(lv.u, x, ym, z));
+                c.read_at(lv.at(lv.u, x, yp, z));
+                c.read_at(lv.at(lv.u, x, y, zm));
+                c.read_at(lv.at(lv.u, x, y, zp));
+                c.read_at(lv.at(lv.r, x, y, z));
+                c.compute(COMPUTE_PER_POINT);
+                c.write_at(lv.at(lv.u, x, y, z));
+            }
+        }
+    }
+}
+
+pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
+    let prm = Params::scaled(w.scale);
+    let mut alloc = Alloc::new(map);
+    let levels: Vec<(Addr, Addr)> = (0..prm.levels)
+        .map(|l| {
+            let pts = prm.points(l);
+            (alloc.shared(pts, ELEM), alloc.shared(pts, ELEM))
+        })
+        .collect();
+    let procs = w.procs;
+    let nlev = prm.levels;
+
+    (0..procs)
+        .map(|me| {
+            let levels = levels.clone();
+            chunked(move |iter| {
+                if iter >= prm.iters {
+                    return None;
+                }
+                let mut c = Chunk::with_capacity(64 * 1024);
+                let mut bar = (iter as u32) * (4 * nlev as u32 + 4);
+                let level = |l: usize| {
+                    let (nx, ny, nz) = prm.dims(l);
+                    Level {
+                        u: levels[l].0,
+                        r: levels[l].1,
+                        nx,
+                        ny,
+                        nz,
+                    }
+                };
+                // Down-sweep: smooth, then restrict the residual to l+1.
+                for l in 0..nlev - 1 {
+                    let fine = level(l);
+                    let coarse = level(l + 1);
+                    smooth(&mut c, &fine, partition(fine.nz, procs, me));
+                    c.barrier(bar);
+                    bar += 1;
+                    for z in partition(coarse.nz, procs, me) {
+                        for y in 0..coarse.ny {
+                            for x in 0..coarse.nx {
+                                // read 2 fine points + write coarse r
+                                c.read_at(fine.at(
+                                    fine.r,
+                                    (2 * x).min(fine.nx - 1),
+                                    (2 * y).min(fine.ny - 1),
+                                    (2 * z).min(fine.nz - 1),
+                                ));
+                                c.read_at(fine.at(
+                                    fine.u,
+                                    (2 * x + 1).min(fine.nx - 1),
+                                    (2 * y).min(fine.ny - 1),
+                                    (2 * z).min(fine.nz - 1),
+                                ));
+                                c.compute(4);
+                                c.write_at(coarse.at(coarse.r, x, y, z));
+                            }
+                        }
+                    }
+                    c.barrier(bar);
+                    bar += 1;
+                }
+                // Coarsest solve: two smoothing sweeps.
+                let bot = level(nlev - 1);
+                smooth(&mut c, &bot, partition(bot.nz, procs, me));
+                c.barrier(bar);
+                bar += 1;
+                smooth(&mut c, &bot, partition(bot.nz, procs, me));
+                c.barrier(bar);
+                bar += 1;
+                // Up-sweep: prolong to l, then smooth l.
+                for l in (0..nlev - 1).rev() {
+                    let fine = level(l);
+                    let coarse = level(l + 1);
+                    for z in partition(fine.nz, procs, me) {
+                        for y in 0..fine.ny {
+                            for x in 0..fine.nx {
+                                c.read_at(coarse.at(
+                                    coarse.u,
+                                    (x / 2).min(coarse.nx - 1),
+                                    (y / 2).min(coarse.ny - 1),
+                                    (z / 2).min(coarse.nz - 1),
+                                ));
+                                c.compute(2);
+                                c.write_at(fine.at(fine.u, x, y, z));
+                            }
+                        }
+                    }
+                    c.barrier(bar);
+                    bar += 1;
+                    smooth(&mut c, &fine, partition(fine.nz, procs, me));
+                    c.barrier(bar);
+                    bar += 1;
+                }
+                Some(c)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn level_dims_halve() {
+        let p = Params::scaled(1.0);
+        assert_eq!(p.dims(0), (24, 24, 64));
+        assert_eq!(p.dims(1), (12, 12, 32));
+        assert_eq!(p.dims(3), (3, 3, 8));
+        assert_eq!(p.points(0), 36864);
+    }
+
+    #[test]
+    fn coarse_levels_touched_by_all_procs() {
+        let map = AddressMap::new(4, 64);
+        let w = Workload::new(crate::AppId::Mg, 4).scale(0.17); // 1 iter
+        let p = Params::scaled(0.17);
+        // Coarsest level arrays start after the three finer levels.
+        let mut coarse_base = memsys::addr::SHARED_BASE;
+        for l in 0..3 {
+            coarse_base += 2 * ((p.points(l) * 4 + 63) & !63);
+        }
+        for mut s in streams(&w, &map) {
+            let touched = s.any(|op| match op {
+                Op::Read(a) | Op::Write(a) => a >= coarse_base,
+                _ => false,
+            });
+            assert!(touched, "every proc works on the coarse grids");
+        }
+    }
+
+    #[test]
+    fn barrier_count_matches_structure() {
+        let map = AddressMap::new(2, 64);
+        let w = Workload::new(crate::AppId::Mg, 2).scale(0.17);
+        let p = Params::scaled(0.17);
+        assert_eq!(p.iters, 1);
+        let bars = streams(&w, &map)
+            .remove(0)
+            .filter(|o| matches!(o, Op::Barrier(_)))
+            .count();
+        // per iter: 2 per down level (3 levels) + 2 coarsest + 2 per up
+        // level (3 levels) = 14 (the double pre-smooth shares a barrier).
+        assert_eq!(bars, 14);
+    }
+
+    #[test]
+    fn smoothing_is_seven_point() {
+        let mut c = Chunk::default();
+        let lv = Level {
+            u: 0,
+            r: 1 << 20,
+            nx: 4,
+            ny: 4,
+            nz: 4,
+        };
+        smooth(&mut c, &lv, 0..1);
+        let ops = c.into_ops();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert_eq!(reads, 16 * 7);
+        assert_eq!(writes, 16);
+    }
+}

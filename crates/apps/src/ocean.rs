@@ -1,0 +1,182 @@
+//! Ocean — SPLASH-2 large-scale ocean movement simulation (paper Table 4:
+//! 66×66 grid).
+//!
+//! Per timestep: three 5-point-stencil sweeps over the velocity/vorticity
+//! grids, then a 2-D multigrid solve of the stream-function equation
+//! (down/up over three levels), all row-partitioned with barriers between
+//! sweeps. With only a 66×66 grid the per-processor bands are thin, so a
+//! large fraction of each band's reads are boundary rows produced by the
+//! neighboring processors.
+//!
+//! Paper reuse class: **Moderate**.
+
+use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
+use crate::ops::OpStream;
+use crate::workload::Workload;
+use memsys::{Addr, AddressMap};
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Grid dimension (paper: 66).
+    pub n: u64,
+    /// Timestep count.
+    pub steps: u64,
+    /// Multigrid levels in the solver.
+    pub levels: usize,
+}
+
+impl Params {
+    /// The grid keeps its paper size; `scale` shrinks the timestep count.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            n: 66,
+            steps: ((8.0 * scale).round() as u64).max(1),
+            levels: 3,
+        }
+    }
+
+    /// Dimension of multigrid level `l` (0 = finest = n).
+    pub fn dim(&self, l: usize) -> u64 {
+        (self.n >> l).max(4)
+    }
+}
+
+/// 5-point stencil sweep: read 4 neighbors + center of `src`, write `dst`.
+fn sweep(c: &mut Chunk, src: Addr, dst: Addr, n: u64, rows: std::ops::Range<u64>) {
+    for r in rows {
+        let r = r + 1;
+        if r >= n - 1 {
+            continue;
+        }
+        for col in 1..n - 1 {
+            c.read_at(src + ((r - 1) * n + col) * ELEM);
+            c.read_at(src + ((r + 1) * n + col) * ELEM);
+            c.read_at(src + (r * n + col - 1) * ELEM);
+            c.read_at(src + (r * n + col + 1) * ELEM);
+            c.read_at(src + (r * n + col) * ELEM);
+            c.compute(11);
+            c.write_at(dst + (r * n + col) * ELEM);
+        }
+    }
+}
+
+pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
+    let prm = Params::scaled(w.scale);
+    let n = prm.n;
+    let mut alloc = Alloc::new(map);
+    // Velocity, vorticity, stream-function, work grid.
+    let u = alloc.shared(n * n, ELEM);
+    let v = alloc.shared(n * n, ELEM);
+    let psi = alloc.shared(n * n, ELEM);
+    let work = alloc.shared(n * n, ELEM);
+    // Multigrid hierarchy for the solver.
+    let mg: Vec<Addr> = (0..prm.levels)
+        .map(|l| alloc.shared(prm.dim(l) * prm.dim(l), ELEM))
+        .collect();
+    let procs = w.procs;
+
+    (0..procs)
+        .map(|me| {
+            let mg = mg.clone();
+            chunked(move |step| {
+                if step >= prm.steps {
+                    return None;
+                }
+                let mut c = Chunk::with_capacity(32 * 1024);
+                let mut bar = (step as u32) * 32;
+                let mut barrier = |c: &mut Chunk| {
+                    c.barrier(bar);
+                    bar += 1;
+                };
+                // Three physics sweeps.
+                for (src, dst) in [(u, work), (v, u), (work, v)] {
+                    sweep(&mut c, src, dst, n, partition(n - 2, procs, me));
+                    barrier(&mut c);
+                }
+                // Multigrid solve: down (restrict) then up (smooth).
+                for l in 0..prm.levels {
+                    let d = prm.dim(l);
+                    let grid = mg[l];
+                    let src = if l == 0 { psi } else { mg[l - 1] };
+                    // Restrict / smooth on level l.
+                    for r in partition(d.saturating_sub(2), procs, me) {
+                        let r = r + 1;
+                        for col in 1..d - 1 {
+                            c.read_at(src + ((r * 2 % (prm.dim(l.saturating_sub(1)))) * prm.dim(l.saturating_sub(1)) + col) * ELEM);
+                            c.read_at(grid + (r * d + col) * ELEM);
+                            c.compute(4);
+                            c.write_at(grid + (r * d + col) * ELEM);
+                        }
+                    }
+                    barrier(&mut c);
+                }
+                for l in (0..prm.levels).rev() {
+                    let d = prm.dim(l);
+                    sweep(&mut c, mg[l], mg[l], d, partition(d - 2, procs, me));
+                    barrier(&mut c);
+                }
+                // Copy solution back into psi.
+                for r in partition(n - 2, procs, me) {
+                    let r = r + 1;
+                    for col in 1..n - 1 {
+                        c.read_at(mg[0] + (r * n + col) * ELEM);
+                        c.write_at(psi + (r * n + col) * ELEM);
+                    }
+                }
+                barrier(&mut c);
+                Some(c)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn paper_grid_dim() {
+        let p = Params::scaled(1.0);
+        assert_eq!(p.n, 66);
+        assert_eq!(p.dim(0), 66);
+        assert_eq!(p.dim(1), 33);
+        assert_eq!(p.dim(2), 16);
+    }
+
+    #[test]
+    fn barriers_per_step_constant() {
+        let map = AddressMap::new(4, 64);
+        let w = Workload::new(crate::AppId::Ocean, 4).scale(0.25); // 2 steps
+        let bars = streams(&w, &map)
+            .remove(0)
+            .filter(|o| matches!(o, Op::Barrier(_)))
+            .count();
+        // 3 sweeps + 3 down + 3 up + 1 copy = 10 per step, 2 steps.
+        assert_eq!(bars, 20);
+    }
+
+    #[test]
+    fn thin_bands_on_many_procs() {
+        let map = AddressMap::new(16, 64);
+        let w = Workload::new(crate::AppId::Ocean, 16).scale(0.125);
+        let streams = streams(&w, &map);
+        assert_eq!(streams.len(), 16);
+        // Every processor still produces work (64 interior rows / 16 = 4).
+        for s in streams {
+            assert!(s.filter(|o| o.is_ref()).count() > 100);
+        }
+    }
+
+    #[test]
+    fn sweep_reads_five_per_point() {
+        let mut c = Chunk::default();
+        sweep(&mut c, 0, 1 << 20, 6, 0..4);
+        let ops = c.into_ops();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert_eq!(reads, 4 * 4 * 5);
+        assert_eq!(writes, 4 * 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! The operation vocabulary the workload front-end feeds the simulator.
+
+use memsys::Addr;
+
+/// Lock identifier (application-scoped).
+pub type LockId = u32;
+
+/// Barrier identifier (application-scoped).
+pub type BarrierId = u32;
+
+/// One event in a processor's program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` cycles of local computation (instructions that hit in the L1
+    /// I-cache and reference no data — the paper charges 1 pcycle each).
+    Compute(u32),
+    /// A data read of the word at the given byte address. Blocking: the
+    /// processor stalls until the read is satisfied.
+    Read(Addr),
+    /// A data write of the word at the given byte address. Costs 1 cycle
+    /// into the coalescing write buffer; stalls only when the buffer is
+    /// full.
+    Write(Addr),
+    /// Acquire the given lock (release consistency: all prior writes must
+    /// be globally performed first).
+    Acquire(LockId),
+    /// Release the given lock.
+    Release(LockId),
+    /// Wait at the given barrier until all processors arrive.
+    Barrier(BarrierId),
+}
+
+/// A lazily generated per-processor operation stream.
+pub type OpStream = Box<dyn Iterator<Item = Op> + Send>;
+
+impl Op {
+    /// True for synchronization operations.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, Op::Acquire(_) | Op::Release(_) | Op::Barrier(_))
+    }
+
+    /// True for data references.
+    pub fn is_ref(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Barrier(0).is_sync());
+        assert!(Op::Acquire(1).is_sync());
+        assert!(!Op::Read(0).is_sync());
+        assert!(Op::Read(0).is_ref());
+        assert!(Op::Write(4).is_ref());
+        assert!(!Op::Compute(3).is_ref());
+    }
+}

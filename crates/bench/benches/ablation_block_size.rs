@@ -1,0 +1,50 @@
+//! §5.3.2 ablation: shared-cache block (line) size 64 B vs 128 B at a
+//! constant 32 KB capacity (128-byte lines halve the frame count).
+//!
+//! Paper shape to check: 128 B lines never help and hurt the apps with
+//! poor spatial locality the most (paper: Em3d −33%, CG −12%) — pollution
+//! wins over prefetching in a small shared cache.
+
+use netcache_apps::AppId;
+use netcache_bench::{emit, machine, par_run, run_cell, Row};
+use netcache_core::{Arch, RunReport, SysConfig};
+
+fn main() {
+    let rows: Vec<Row> = AppId::ALL
+        .iter()
+        .map(|&app| {
+            let base = machine(Arch::NetCache);
+            let wide = SysConfig {
+                ring: netcache_core::RingConfig {
+                    block_bytes: 128,
+                    frames_per_channel: 2,
+                    ..base.ring
+                },
+                ..base
+            };
+            let jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = vec![
+                Box::new(move || run_cell(&base, app)),
+                Box::new(move || run_cell(&wide, app)),
+            ];
+            let reports = par_run(jobs);
+            let penalty =
+                100.0 * (reports[1].cycles as f64 / reports[0].cycles as f64 - 1.0);
+            Row {
+                label: app.name().to_string(),
+                values: vec![
+                    reports[0].cycles as f64,
+                    reports[1].cycles as f64,
+                    penalty,
+                    100.0 * reports[0].shared_cache_hit_rate(),
+                    100.0 * reports[1].shared_cache_hit_rate(),
+                ],
+            }
+        })
+        .collect();
+    emit(
+        "ablation_block_size",
+        "64 B vs 128 B shared-cache lines at 32 KB (penalty%: positive = 128 B is worse)",
+        &["64B cyc", "128B cyc", "penalty%", "hit64%", "hit128%"],
+        &rows,
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 5: speedups of the 16-node NetCache multiprocessor (32 KB shared
+//! cache) over a 1-node run of the same program.
+//!
+//! Paper shape to check: most apps reach good speedups; Em3d is
+//! *superlinear* (terrible single-node cache behaviour); WF is poor
+//! (barrier overhead / load imbalance); CG and LU are modest.
+
+use netcache_apps::AppId;
+use netcache_bench::{default_scale, emit, machine, par_run, procs, Row};
+use netcache_core::{speedup, Arch};
+
+type SpeedupJob = Box<dyn FnOnce() -> (AppId, (u64, u64, f64)) + Send>;
+
+fn main() {
+    let p = procs();
+    let jobs: Vec<SpeedupJob> = AppId::ALL
+        .iter()
+        .map(|&app| {
+            let cfg = machine(Arch::NetCache);
+            Box::new(move || (app, speedup(&cfg, app, p, default_scale(app)))) as SpeedupJob
+        })
+        .collect();
+    let results = par_run(jobs);
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|(app, (t1, tp, s))| Row {
+            label: app.name().to_string(),
+            values: vec![*t1 as f64, *tp as f64, *s],
+        })
+        .collect();
+    emit(
+        "fig05_speedup",
+        &format!("Speedup of the {p}-node NetCache machine (paper Fig. 5)"),
+        &["T(1)", "T(p)", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 6: run times of NetCache, LambdaNet, DMON-U and DMON-I on the
+//! 16-node machine, normalized to NetCache (= 1.0), one group of bars per
+//! application. Also prints the §5.1 extra system: NetCache *without* the
+//! ring shared cache (the star-coupler-only machine), which the paper
+//! reports as ≈ LambdaNet ± a few percent.
+//!
+//! Paper shape to check: NetCache ≤ everything; DMON-I worst overall (up
+//! to ~2× on WF); LambdaNet ≤ DMON-U ≤ DMON-I; ties (≈1.0×) for
+//! Em3d/FFT/Radix vs LambdaNet.
+
+use netcache_apps::AppId;
+use netcache_bench::{emit, machine, normalized, par_run, run_cell, Row};
+use netcache_core::{Arch, RunReport, SysConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let cfgs: Vec<SysConfig> = Arch::ALL.iter().map(|&a| machine(a)).collect();
+        let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = cfgs
+            .into_iter()
+            .map(|cfg| Box::new(move || run_cell(&cfg, app)) as Box<dyn FnOnce() -> RunReport + Send>)
+            .collect();
+        let no_ring = SysConfig {
+            ring: netcache_core::RingConfig::sized_kb(0),
+            ..machine(Arch::NetCache)
+        };
+        jobs.push(Box::new(move || run_cell(&no_ring, app)));
+        let reports = par_run(jobs);
+        let cycles: Vec<u64> = reports.iter().map(|r| r.cycles).collect();
+        let mut values = normalized(&cycles);
+        values.push(cycles[0] as f64); // absolute NetCache cycles for reference
+        rows.push(Row {
+            label: app.name().to_string(),
+            values,
+        });
+    }
+    emit(
+        "fig06_runtime",
+        "Run time normalized to NetCache (16 nodes, 32 KB shared cache)",
+        &["NetCache", "LambdaNet", "DMON-U", "DMON-I", "NC-noring", "NC cycles"],
+        &rows,
+    );
+
+    // The paper's headline averages for quick comparison.
+    let avg = |col: usize| {
+        rows.iter().map(|r| r.values[col]).sum::<f64>() / rows.len() as f64
+    };
+    println!();
+    println!(
+        "averages vs NetCache: LambdaNet {:.2}x (paper ~1.26x), DMON-U {:.2}x (~1.32x), DMON-I {:.2}x (~1.50x), no-ring {:.2}x (~LambdaNet)",
+        avg(1),
+        avg(2),
+        avg(3),
+        avg(4)
+    );
+}

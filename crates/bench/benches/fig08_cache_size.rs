@@ -1,0 +1,41 @@
+//! Figure 8: shared-cache hit rates for 16, 32 and 64 KB shared caches
+//! (64 / 128 / 256 cache channels) on the 16-node NetCache machine.
+//!
+//! Paper shape to check: Low-reuse apps flat and low; High-reuse apps flat
+//! and high (16 KB already holds the joint hot set); Moderate apps climb
+//! with size (except WF, whose joint working set dwarfs every size).
+
+use netcache_apps::AppId;
+use netcache_bench::{emit, machine, par_run, run_cell, Row};
+use netcache_core::{Arch, RunReport};
+
+const SIZES_KB: [u64; 3] = [16, 32, 64];
+
+fn main() {
+    let rows: Vec<Row> = AppId::ALL
+        .iter()
+        .map(|&app| {
+            let jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = SIZES_KB
+                .iter()
+                .map(|&kb| {
+                    let cfg = machine(Arch::NetCache).with_ring_kb(kb);
+                    Box::new(move || run_cell(&cfg, app)) as Box<dyn FnOnce() -> RunReport + Send>
+                })
+                .collect();
+            let reports = par_run(jobs);
+            Row {
+                label: app.name().to_string(),
+                values: reports
+                    .iter()
+                    .map(|r| 100.0 * r.shared_cache_hit_rate())
+                    .collect(),
+            }
+        })
+        .collect();
+    emit(
+        "fig08_cache_size",
+        "Shared-cache hit rates (%) vs capacity, 16 nodes",
+        &["16 KB", "32 KB", "64 KB"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 15: run time as a function of the memory block read latency
+//! (44 / 76 / 108 pcycles) for Gauss and Radix on all four systems.
+//!
+//! Paper shape to check: rising memory latency hurts NetCache the least —
+//! the key trend argument of the paper ("the performance benefits of our
+//! architecture will continue to increase" as the processor/memory gap
+//! widens).
+
+use netcache_apps::AppId;
+use netcache_bench::{emit, machine, par_run, run_cell, Row};
+use netcache_core::{Arch, RunReport};
+
+const LATENCIES: [u64; 3] = [44, 76, 108];
+
+fn main() {
+    let mut rows = Vec::new();
+    for app in [AppId::Radix, AppId::Gauss] {
+        for arch in [Arch::DmonI, Arch::LambdaNet, Arch::DmonU, Arch::NetCache] {
+            let jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = LATENCIES
+                .iter()
+                .map(|&lat| {
+                    let cfg = machine(arch).with_mem_latency(lat);
+                    Box::new(move || run_cell(&cfg, app)) as Box<dyn FnOnce() -> RunReport + Send>
+                })
+                .collect();
+            let reports = par_run(jobs);
+            let slope = (reports[2].cycles as f64 - reports[0].cycles as f64)
+                / reports[0].cycles as f64;
+            let mut values: Vec<f64> = reports.iter().map(|r| r.cycles as f64).collect();
+            values.push(100.0 * slope);
+            rows.push(Row {
+                label: format!("{}-{}", app.name(), short(arch)),
+                values,
+            });
+        }
+    }
+    emit(
+        "fig15_mem_latency",
+        "Run time (pcycles) vs memory block read latency (last column: growth 44->108, %)",
+        &["44 pc", "76 pc", "108 pc", "growth%"],
+        &rows,
+    );
+}
+
+fn short(a: Arch) -> &'static str {
+    match a {
+        Arch::NetCache => "N",
+        Arch::LambdaNet => "L",
+        Arch::DmonU => "DU",
+        Arch::DmonI => "DI",
+    }
+}

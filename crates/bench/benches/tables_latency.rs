@@ -1,0 +1,104 @@
+//! Tables 1, 2 and 3 of the paper: contention-free latency breakdowns,
+//! plus the §2–3 optical hardware cost comparison.
+//!
+//! These are analytic (no simulation): the point is that the same
+//! component model the simulator uses reproduces the paper's published
+//! row-by-row numbers (46/119/111/135 and 41/24/43/37).
+
+use netcache_bench::{emit, Row};
+use netcache_core::latency::{self, Component};
+use netcache_core::{Arch, SysConfig};
+use optics::HardwareCost;
+
+fn breakdown_rows(components: &[Component]) -> Vec<Row> {
+    let mut rows: Vec<Row> = components
+        .iter()
+        .map(|(name, v)| Row {
+            label: name.to_string(),
+            values: vec![*v as f64],
+        })
+        .collect();
+    rows.push(Row {
+        label: "TOTAL".into(),
+        values: vec![latency::total(components) as f64],
+    });
+    rows
+}
+
+fn main() {
+    let cfg = SysConfig::base(Arch::NetCache);
+
+    emit(
+        "table1_hit",
+        "NetCache shared-cache read hit (paper total: 46)",
+        &["pcycles"],
+        &breakdown_rows(&latency::netcache_hit(&cfg)),
+    );
+    emit(
+        "table1_miss",
+        "NetCache shared-cache read miss (paper total: 119)",
+        &["pcycles"],
+        &breakdown_rows(&latency::netcache_miss(&cfg)),
+    );
+    emit(
+        "table2_lambdanet",
+        "LambdaNet 2nd-level read miss (paper total: 111)",
+        &["pcycles"],
+        &breakdown_rows(&latency::lambdanet_miss(&cfg)),
+    );
+    emit(
+        "table2_dmon",
+        "DMON 2nd-level read miss (paper total: 135)",
+        &["pcycles"],
+        &breakdown_rows(&latency::dmon_miss(&cfg)),
+    );
+    emit(
+        "table3",
+        "Coherence transaction totals, 8 words (paper: 41 / 24 / 43 / 37)",
+        &["pcycles"],
+        &[
+            Row {
+                label: "NetCache".into(),
+                values: vec![latency::total(&latency::netcache_update(&cfg)) as f64],
+            },
+            Row {
+                label: "LambdaNet".into(),
+                values: vec![latency::total(&latency::lambdanet_update(&cfg)) as f64],
+            },
+            Row {
+                label: "DMON-U".into(),
+                values: vec![latency::total(&latency::dmon_u_update(&cfg)) as f64],
+            },
+            Row {
+                label: "DMON-I".into(),
+                values: vec![latency::total(&latency::dmon_i_invalidate(&cfg)) as f64],
+            },
+        ],
+    );
+
+    let p = cfg.nodes;
+    let costs = [
+        ("DMON-I", HardwareCost::dmon_i(p)),
+        ("DMON-U", HardwareCost::dmon_u(p)),
+        ("LambdaNet", HardwareCost::lambdanet(p)),
+        ("NetCache", HardwareCost::netcache(p, cfg.ring.channels)),
+    ];
+    emit(
+        "hardware_cost",
+        "Optical component counts at p=16 (paper §2-3: 6p / 7p / p(p+1) / 25p)",
+        &["fixedTx", "fixedRx", "tunTx", "tunRx", "total"],
+        &costs
+            .iter()
+            .map(|(name, c)| Row {
+                label: name.to_string(),
+                values: vec![
+                    c.fixed_tx as f64,
+                    c.fixed_rx as f64,
+                    c.tunable_tx as f64,
+                    c.tunable_rx as f64,
+                    c.total() as f64,
+                ],
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,44 @@
+//! `report` — one-screen cross-architecture comparison at the bench
+//! scales: run times of all four systems for all twelve applications,
+//! plus the NetCache machine's shared-cache and stall profile.
+//!
+//! ```text
+//! cargo run --release -p netcache-bench --bin report
+//! ```
+
+use netcache_apps::AppId;
+use netcache_bench::{machine, run_cell};
+use netcache_core::Arch;
+
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}  {:>6} {:>7} {:>6}",
+        "app", "NetCache", "LambdaNet", "DMON-U", "DMON-I", "hit%", "rdlat%", "sync%"
+    );
+    for app in AppId::ALL {
+        let mut cycles = Vec::new();
+        let mut profile = (0.0, 0.0, 0.0);
+        for arch in Arch::ALL {
+            let r = run_cell(&machine(arch), app);
+            if arch == Arch::NetCache {
+                profile = (
+                    100.0 * r.shared_cache_hit_rate(),
+                    100.0 * r.read_latency_fraction(),
+                    100.0 * r.sync_fraction(),
+                );
+            }
+            cycles.push(r.cycles);
+        }
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}  {:>6.1} {:>7.1} {:>6.1}",
+            app.name(),
+            cycles[0],
+            cycles[1],
+            cycles[2],
+            cycles[3],
+            profile.0,
+            profile.1,
+            profile.2
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! # netcache-bench — the experiment harness
+//!
+//! One bench target per table/figure of the paper (see `benches/`). This
+//! library holds what they share: the per-application input scales, the
+//! machine builders, a tiny parallel sweep runner, and the table/series
+//! printers that emit the same rows the paper reports.
+//!
+//! ## Knobs (environment variables)
+//!
+//! * `NETCACHE_SCALE` — multiply every application's default scale
+//!   (e.g. `0.5` for a quick pass, `2` for a longer, lower-variance one).
+//! * `NETCACHE_PROCS` — machine size (default 16, the paper's).
+//! * `NETCACHE_JSON_DIR` — if set, every experiment also dumps its rows as
+//!   JSON into this directory (for plotting).
+
+use std::io::Write as _;
+
+use netcache_apps::{AppId, Workload};
+use netcache_core::{run_app, Arch, RunReport, SysConfig};
+
+/// Default per-application input scale for bench runs.
+///
+/// The paper's MINT simulations ran for hours; these scales keep every
+/// figure reproducible in minutes while preserving each application's
+/// working-set *structure* (grids and graphs keep their paper sizes where
+/// that is what determines reuse; iteration counts shrink instead — each
+/// app's `Params::scaled` documents its policy).
+pub fn default_scale(app: AppId) -> f64 {
+    let base = match app {
+        AppId::Cg => 0.2,
+        AppId::Em3d => 0.5,
+        AppId::Fft => 1.0, // paper size: FFT is cheap
+        AppId::Gauss => 0.3,
+        AppId::Lu => 0.2,
+        AppId::Mg => 0.5,
+        AppId::Ocean => 0.5,
+        AppId::Radix => 0.1,
+        AppId::Raytrace => 0.5,
+        AppId::Sor => 0.1,
+        AppId::Water => 0.5, // 2 timesteps
+        AppId::Wf => 0.08,
+    };
+    let mult: f64 = std::env::var("NETCACHE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    (base * mult).clamp(0.005, 1.0)
+}
+
+/// Machine size for the experiments (paper: 16).
+pub fn procs() -> usize {
+    std::env::var("NETCACHE_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+/// The workload for `app` at its bench scale.
+pub fn workload(app: AppId) -> Workload {
+    Workload::new(app, procs()).scale(default_scale(app))
+}
+
+/// The base machine for `arch` at the bench node count.
+pub fn machine(arch: Arch) -> SysConfig {
+    SysConfig::base(arch).with_nodes(procs())
+}
+
+/// Runs one (config, app) cell; the workload takes its processor count
+/// from the configuration so sweeps over machine sizes just work.
+pub fn run_cell(cfg: &SysConfig, app: AppId) -> RunReport {
+    run_app(cfg, &Workload::new(app, cfg.nodes).scale(default_scale(app)))
+}
+
+/// Runs a set of independent jobs on two worker threads (the harness box
+/// is small; the win is overlap, not scale).
+pub fn par_run<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let n = jobs.len();
+    let mut slots: Vec<parking_lot::Mutex<Option<T>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || parking_lot::Mutex::new(None));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let queue = parking_lot::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    crossbeam::scope(|s| {
+        for _ in 0..std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2) {
+            s.spawn(|_| loop {
+                let job = { queue.lock().pop() };
+                match job {
+                    Some((i, f)) => {
+                        let v = f();
+                        *slots[i].lock() = Some(v);
+                        next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("job not run"))
+        .collect()
+}
+
+/// One row of an emitted experiment table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (application name, parameter value, ...).
+    pub label: String,
+    /// Column values, aligned with the experiment's headers.
+    pub values: Vec<f64>,
+}
+
+/// Prints a figure/table in the paper's row/series layout and optionally
+/// dumps JSON for plotting.
+pub fn emit(name: &str, title: &str, headers: &[&str], rows: &[Row]) {
+    println!();
+    println!("=== {name}: {title} ===");
+    print!("{:<24}", "");
+    for h in headers {
+        print!(" {h:>12}");
+    }
+    println!();
+    for r in rows {
+        print!("{:<24}", r.label);
+        for v in &r.values {
+            if v.fract() == 0.0 && v.abs() < 1e12 {
+                print!(" {:>12}", *v as i64);
+            } else {
+                print!(" {v:>12.3}");
+            }
+        }
+        println!();
+    }
+    if let Ok(dir) = std::env::var("NETCACHE_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            // Hand-rolled JSON: the structure is trivial and it keeps the
+            // harness inside the sanctioned dependency set.
+            let hdrs: Vec<String> = headers.iter().map(|h| format!("\"{h}\"")).collect();
+            let _ = writeln!(f, "{{\n  \"name\": \"{name}\",\n  \"title\": \"{title}\",");
+            let _ = writeln!(f, "  \"headers\": [{}],", hdrs.join(", "));
+            let _ = writeln!(f, "  \"rows\": [");
+            for (i, r) in rows.iter().enumerate() {
+                let vals: Vec<String> = r.values.iter().map(|v| format!("{v}")).collect();
+                let comma = if i + 1 < rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    f,
+                    "    {{\"label\": \"{}\", \"values\": [{}]}}{comma}",
+                    r.label,
+                    vals.join(", ")
+                );
+            }
+            let _ = writeln!(f, "  ]\n}}");
+        }
+    }
+}
+
+/// Normalizes a set of run times to the first entry (the paper's Fig. 6
+/// style, NetCache = 1.0).
+pub fn normalized(cycles: &[u64]) -> Vec<f64> {
+    let base = cycles.first().copied().unwrap_or(1).max(1) as f64;
+    cycles.iter().map(|&c| c as f64 / base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        for app in AppId::ALL {
+            let s = default_scale(app);
+            assert!(s > 0.0 && s <= 1.0, "{}: {s}", app.name());
+        }
+    }
+
+    #[test]
+    fn normalized_starts_at_one() {
+        let n = normalized(&[200, 300, 100]);
+        assert_eq!(n[0], 1.0);
+        assert_eq!(n[1], 1.5);
+        assert_eq!(n[2], 0.5);
+    }
+
+    #[test]
+    fn par_run_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = par_run(jobs);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        std::env::set_var("NETCACHE_SCALE", "0.2");
+        let r = run_cell(&machine(Arch::NetCache).with_nodes(4), AppId::Water);
+        assert!(r.cycles > 0);
+        std::env::remove_var("NETCACHE_SCALE");
+    }
+}

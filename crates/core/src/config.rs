@@ -1,0 +1,341 @@
+//! System configuration: every knob of the paper's base machine (§4.1) and
+//! parameter-space study (§5.3–5.4) in one place.
+
+use memsys::{CacheCfg, MemoryCfg};
+use optics::{OpticalParams, RingGeometry};
+
+/// Which simulated architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// The paper's contribution: star-coupler subnetwork + delay-line ring
+    /// shared cache, update-based coherence (§3).
+    NetCache,
+    /// Goodman et al.'s per-node-channel broadcast star with the paper's
+    /// write-update protocol (§2.3) — the non-caching upper bound.
+    LambdaNet,
+    /// Ha & Pinkston's DMON with the authors' update protocol (§2.2).
+    DmonU,
+    /// DMON with the I-SPEED invalidate protocol (§2.2).
+    DmonI,
+}
+
+impl Arch {
+    /// All four systems, in the paper's figure order (left to right).
+    pub const ALL: [Arch; 4] = [Arch::NetCache, Arch::LambdaNet, Arch::DmonU, Arch::DmonI];
+
+    /// Display name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::NetCache => "NetCache",
+            Arch::LambdaNet => "LambdaNet",
+            Arch::DmonU => "DMON-U",
+            Arch::DmonI => "DMON-I",
+        }
+    }
+}
+
+/// Shared-cache (ring) replacement policy (§5.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// The architecture's native policy: replace whatever frame passes the
+    /// home node next. Hardware-free and, per the paper, the best.
+    #[default]
+    Random,
+    /// Least frequently used frame in the channel.
+    Lfu,
+    /// Least recently used frame in the channel.
+    Lru,
+    /// Oldest-inserted frame in the channel.
+    Fifo,
+}
+
+impl Replacement {
+    /// All policies in the paper's Fig. 12 order.
+    pub const ALL: [Replacement; 4] = [
+        Replacement::Random,
+        Replacement::Lfu,
+        Replacement::Lru,
+        Replacement::Fifo,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Replacement::Random => "Random",
+            Replacement::Lfu => "LFU",
+            Replacement::Lru => "LRU",
+            Replacement::Fifo => "FIFO",
+        }
+    }
+}
+
+/// Shared-cache channel associativity (§5.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelAssoc {
+    /// A block may occupy any frame of its channel (the architecture's
+    /// native organization).
+    #[default]
+    Fully,
+    /// A block maps to exactly one frame of its channel.
+    Direct,
+}
+
+/// Ring shared-cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingConfig {
+    /// Number of cache channels; 0 disables the ring entirely (the §5.1
+    /// "NetCache without a shared cache" machine, and the 0 KB point of
+    /// Figs. 9–10).
+    pub channels: usize,
+    /// Frames per channel (base: 4).
+    pub frames_per_channel: usize,
+    /// Ring roundtrip in pcycles (base: 40 at 10 Gbit/s; the Fig. 14
+    /// sweep rescales it inversely with the rate to keep capacity fixed).
+    pub roundtrip: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Channel associativity.
+    pub assoc: ChannelAssoc,
+    /// Shared-cache line (block) size in bytes (base: 64; §5.3.2 evaluates
+    /// 128).
+    pub block_bytes: u64,
+    /// §3.4: start read misses on BOTH subnetworks simultaneously (the
+    /// architecture's design). `false` ablates it: the star-coupler
+    /// request is sent only after the ring probe concludes — "shared
+    /// cache misses would take half a roundtrip longer (on average) to
+    /// satisfy than a direct remote memory access".
+    pub dual_path_reads: bool,
+    /// §3.4: enforce the update-race FIFO window (ring reads of blocks
+    /// updated less than two roundtrips ago wait out the window).
+    /// `false` ablates the correctness mechanism to measure its cost.
+    pub race_window: bool,
+}
+
+impl RingConfig {
+    /// The paper's base 32 KB shared cache.
+    pub fn base() -> Self {
+        Self {
+            channels: 128,
+            frames_per_channel: 4,
+            roundtrip: 40,
+            replacement: Replacement::Random,
+            assoc: ChannelAssoc::Fully,
+            block_bytes: 64,
+            dual_path_reads: true,
+            race_window: true,
+        }
+    }
+
+    /// Base ring resized to `kb` KBytes (Fig. 8: 16/32/64 KB ↔ 64/128/256
+    /// channels). `0` disables the ring.
+    pub fn sized_kb(kb: u64) -> Self {
+        Self {
+            channels: (kb * 1024 / (4 * 64)) as usize,
+            ..Self::base()
+        }
+    }
+
+    /// Total data capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels as u64 * self.frames_per_channel as u64 * self.block_bytes
+    }
+
+    /// True if the ring exists.
+    pub fn enabled(&self) -> bool {
+        self.channels > 0
+    }
+
+    /// The geometry object for `nodes` taps.
+    pub fn geometry(&self, nodes: usize) -> RingGeometry {
+        RingGeometry {
+            channels: self.channels.max(1),
+            frames_per_channel: self.frames_per_channel,
+            roundtrip: self.roundtrip,
+            nodes,
+            read_overhead: 5,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SysConfig {
+    /// Architecture to simulate.
+    pub arch: Arch,
+    /// Node count `p` (paper: 16).
+    pub nodes: usize,
+    /// First-level data cache (paper: 4 KB direct-mapped, 32 B blocks).
+    pub l1: CacheCfg,
+    /// Second-level data cache (paper: 16 KB direct-mapped, 64 B blocks).
+    pub l2: CacheCfg,
+    /// L2 read-hit latency in pcycles (paper: 12).
+    pub l2_hit_latency: u64,
+    /// Coalescing write-buffer entries (paper: 16).
+    pub wb_entries: usize,
+    /// Memory-module timing.
+    pub mem: MemoryCfg,
+    /// Optical channel parameters.
+    pub optics: OpticalParams,
+    /// Ring shared cache (NetCache only; ignored by the baselines).
+    pub ring: RingConfig,
+    /// RNG seed for the simulation's own choices.
+    pub seed: u64,
+}
+
+impl SysConfig {
+    /// The paper's base machine (§4.1) for the given architecture.
+    pub fn base(arch: Arch) -> Self {
+        Self {
+            arch,
+            nodes: 16,
+            l1: CacheCfg::direct(4 * 1024, 32),
+            l2: CacheCfg::direct(16 * 1024, 64),
+            l2_hit_latency: 12,
+            wb_entries: 16,
+            mem: MemoryCfg::base(),
+            optics: OpticalParams::base(),
+            ring: RingConfig::base(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Base machine without the ring shared cache (the §5.1 star-only
+    /// NetCache, a.k.a. OPTNET).
+    pub fn netcache_no_ring() -> Self {
+        let mut c = Self::base(Arch::NetCache);
+        c.ring.channels = 0;
+        c
+    }
+
+    /// Sets the node count (builder style).
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the L2 size in KB (Fig. 13 sweep).
+    pub fn with_l2_kb(mut self, kb: u64) -> Self {
+        self.l2 = CacheCfg::direct(kb * 1024, 64);
+        self
+    }
+
+    /// Sets the shared-cache size in KB (Figs. 8–10 sweep).
+    pub fn with_ring_kb(mut self, kb: u64) -> Self {
+        self.ring = RingConfig {
+            replacement: self.ring.replacement,
+            assoc: self.ring.assoc,
+            ..RingConfig::sized_kb(kb)
+        };
+        self
+    }
+
+    /// Sets the optical transmission rate, rescaling the ring roundtrip to
+    /// keep capacity constant (Fig. 14: "doubling the transmission rate
+    /// was accompanied by halving the length of the ring").
+    pub fn with_rate_gbps(mut self, rate: f64) -> Self {
+        self.optics = OpticalParams::with_rate(rate);
+        self.ring.roundtrip = (40.0 * 10.0 / rate).round() as u64;
+        self
+    }
+
+    /// Sets the memory block read latency (Fig. 15: 44/76/108).
+    pub fn with_mem_latency(mut self, lat: u64) -> Self {
+        self.mem = MemoryCfg::with_read_latency(lat);
+        self
+    }
+
+    /// Sets the shared-cache replacement policy (Fig. 12).
+    pub fn with_replacement(mut self, r: Replacement) -> Self {
+        self.ring.replacement = r;
+        self
+    }
+
+    /// Sets the shared-cache channel associativity (Fig. 11).
+    pub fn with_assoc(mut self, a: ChannelAssoc) -> Self {
+        self.ring.assoc = a;
+        self
+    }
+
+    /// Validates internal consistency; called by the machine builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("need at least one node".into());
+        }
+        if self.ring.enabled() && !self.ring.channels.is_multiple_of(self.nodes) {
+            return Err(format!(
+                "ring channels ({}) must be a multiple of nodes ({})",
+                self.ring.channels, self.nodes
+            ));
+        }
+        if self.ring.enabled() && !self.ring.roundtrip.is_multiple_of(self.ring.frames_per_channel as u64) {
+            return Err("roundtrip must divide evenly into frames".into());
+        }
+        if self.l2.block_bytes != 64 {
+            return Err("L2 blocks must be 64 B (the coherence unit)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_paper() {
+        let c = SysConfig::base(Arch::NetCache);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.l1.size_bytes, 4096);
+        assert_eq!(c.l2.size_bytes, 16384);
+        assert_eq!(c.ring.capacity_bytes(), 32 * 1024);
+        assert_eq!(c.mem.read_latency, 76);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ring_size_sweep() {
+        assert_eq!(RingConfig::sized_kb(16).channels, 64);
+        assert_eq!(RingConfig::sized_kb(32).channels, 128);
+        assert_eq!(RingConfig::sized_kb(64).channels, 256);
+        assert_eq!(RingConfig::sized_kb(0).channels, 0);
+        assert!(!RingConfig::sized_kb(0).enabled());
+    }
+
+    #[test]
+    fn rate_sweep_rescales_roundtrip() {
+        let c = SysConfig::base(Arch::NetCache).with_rate_gbps(5.0);
+        assert_eq!(c.ring.roundtrip, 80);
+        let c = SysConfig::base(Arch::NetCache).with_rate_gbps(20.0);
+        assert_eq!(c.ring.roundtrip, 20);
+        // Capacity is invariant.
+        assert_eq!(c.ring.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn validation_catches_bad_channel_counts() {
+        let mut c = SysConfig::base(Arch::NetCache);
+        c.ring.channels = 100; // not a multiple of 16
+        assert!(c.validate().is_err());
+        c.ring.channels = 0; // disabled is fine
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn arch_names() {
+        assert_eq!(Arch::ALL.len(), 4);
+        assert_eq!(Arch::NetCache.name(), "NetCache");
+        assert_eq!(Arch::DmonI.name(), "DMON-I");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SysConfig::base(Arch::DmonU)
+            .with_l2_kb(64)
+            .with_mem_latency(108)
+            .with_nodes(8);
+        assert_eq!(c.l2.size_bytes, 64 * 1024);
+        assert_eq!(c.mem.read_latency, 108);
+        assert_eq!(c.nodes, 8);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,250 @@
+//! Run metrics: everything the paper's figures are built from.
+
+use crate::proto::ProtoCounters;
+use crate::ring::RingStats;
+use desim::time::Time;
+
+/// Per-processor accounting, updated by the machine as it executes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Cycles doing useful work (instructions + 1 per reference).
+    pub busy: u64,
+    /// Cycles stalled waiting for reads.
+    pub read_stall: u64,
+    /// Cycles stalled on a full write buffer.
+    pub wb_stall: u64,
+    /// Cycles stalled at barriers / locks (incl. the drain before them).
+    pub sync_stall: u64,
+    /// Data reads issued.
+    pub reads: u64,
+    /// Data writes issued.
+    pub writes: u64,
+    /// Reads satisfied by the L1.
+    pub l1_hits: u64,
+    /// Reads satisfied by the L2.
+    pub l2_hits: u64,
+    /// Reads forwarded from the node's own write buffer.
+    pub wb_forwards: u64,
+    /// L2 misses served by the local memory (private/own-home data).
+    pub local_mem_reads: u64,
+    /// L2 misses served across the network by remote memory.
+    pub remote_mem_reads: u64,
+    /// L2 misses served by the ring shared cache (NetCache).
+    pub shared_hits: u64,
+    /// L2 misses coalesced onto an in-flight ring insertion (NetCache).
+    pub shared_coalesced: u64,
+    /// L2 misses served cache-to-cache (DMON-I forwards).
+    pub forwarded_reads: u64,
+    /// Total stall cycles of shared (remote-homed) L2 read misses.
+    pub shared_read_stall: u64,
+    /// Count of shared (remote-homed) L2 read misses.
+    pub shared_reads: u64,
+    /// Time this processor finished its stream.
+    pub finish: Time,
+}
+
+impl NodeStats {
+    /// Total L2 read misses that left the node.
+    pub fn network_reads(&self) -> u64 {
+        self.remote_mem_reads + self.shared_hits + self.shared_coalesced + self.forwarded_reads
+    }
+
+    /// Mean latency of shared L2 read misses.
+    pub fn avg_shared_read_latency(&self) -> f64 {
+        if self.shared_reads == 0 {
+            0.0
+        } else {
+            self.shared_read_stall as f64 / self.shared_reads as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Parallel run time in pcycles (max processor finish time).
+    pub cycles: Time,
+    /// Per-processor stats.
+    pub nodes: Vec<NodeStats>,
+    /// Protocol traffic counters.
+    pub proto: ProtoCounters,
+    /// Ring shared-cache stats (NetCache only).
+    pub ring: Option<RingStats>,
+    /// Events processed (simulator health metric).
+    pub events: u64,
+    /// Per-channel diagnostics: `(name, served, busy, mean wait)`.
+    pub channels: Vec<(String, u64, u64, f64)>,
+    /// Per-memory-module `(reads, busy cycles, mean queue wait)`.
+    pub memories: Vec<(u64, u64, f64)>,
+}
+
+impl RunReport {
+    fn sum(&self, f: impl Fn(&NodeStats) -> u64) -> u64 {
+        self.nodes.iter().map(f).sum()
+    }
+
+    /// Total reads across processors.
+    pub fn total_reads(&self) -> u64 {
+        self.sum(|n| n.reads)
+    }
+
+    /// Total read-stall cycles across processors.
+    pub fn total_read_stall(&self) -> u64 {
+        self.sum(|n| n.read_stall)
+    }
+
+    /// Total synchronization stall cycles.
+    pub fn total_sync_stall(&self) -> u64 {
+        self.sum(|n| n.sync_stall)
+    }
+
+    /// Read stall as a fraction of aggregate processor time — the paper's
+    /// "read latency as % of run time" (Fig. 7, leftmost bars).
+    pub fn read_latency_fraction(&self) -> f64 {
+        let total = self.cycles * self.nodes.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_read_stall() as f64 / total as f64
+        }
+    }
+
+    /// Sync stall as a fraction of aggregate processor time.
+    pub fn sync_fraction(&self) -> f64 {
+        let total = self.cycles * self.nodes.len() as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_sync_stall() as f64 / total as f64
+        }
+    }
+
+    /// Shared-cache hit rate (0 when the architecture has no ring).
+    pub fn shared_cache_hit_rate(&self) -> f64 {
+        self.ring.map(|r| r.hit_rate()).unwrap_or(0.0)
+    }
+
+    /// Mean latency of L2 read misses to shared, remote-homed blocks —
+    /// the quantity reduced in Fig. 7's "Miss Lat." bars.
+    pub fn avg_shared_read_latency(&self) -> f64 {
+        let stall = self.sum(|n| n.shared_read_stall);
+        let count = self.sum(|n| n.shared_reads);
+        if count == 0 {
+            0.0
+        } else {
+            stall as f64 / count as f64
+        }
+    }
+
+    /// L1 hit rate over all reads.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let reads = self.total_reads();
+        if reads == 0 {
+            0.0
+        } else {
+            self.sum(|n| n.l1_hits) as f64 / reads as f64
+        }
+    }
+
+    /// L2 hit rate over L1 misses.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let l1_misses = self.total_reads() - self.sum(|n| n.l1_hits);
+        if l1_misses == 0 {
+            0.0
+        } else {
+            self.sum(|n| n.l2_hits) as f64 / l1_misses as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} cycles | reads {} (L1 {:.1}%, L2 {:.1}%) | shared-cache hit {:.1}% | read-lat {:.1}% sync {:.1}% of time",
+            self.arch,
+            self.cycles,
+            self.total_reads(),
+            100.0 * self.l1_hit_rate(),
+            100.0 * self.l2_hit_rate(),
+            100.0 * self.shared_cache_hit_rate(),
+            100.0 * self.read_latency_fraction(),
+            100.0 * self.sync_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(nodes: Vec<NodeStats>, cycles: Time) -> RunReport {
+        RunReport {
+            arch: "test",
+            cycles,
+            nodes,
+            proto: ProtoCounters::default(),
+            ring: None,
+            events: 0,
+            channels: Vec::new(),
+            memories: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fractions_are_bounded() {
+        let n = NodeStats {
+            read_stall: 250,
+            sync_stall: 100,
+            reads: 10,
+            ..Default::default()
+        };
+        let r = report_with(vec![n, NodeStats::default()], 1000);
+        assert!((r.read_latency_fraction() - 0.125).abs() < 1e-9);
+        assert!((r.sync_fraction() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = report_with(vec![NodeStats::default()], 0);
+        assert_eq!(r.read_latency_fraction(), 0.0);
+        assert_eq!(r.l1_hit_rate(), 0.0);
+        assert_eq!(r.avg_shared_read_latency(), 0.0);
+        assert_eq!(r.shared_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn avg_shared_latency() {
+        let a = NodeStats {
+            shared_read_stall: 300,
+            shared_reads: 3,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            shared_read_stall: 100,
+            shared_reads: 1,
+            ..Default::default()
+        };
+        let r = report_with(vec![a, b], 10);
+        assert!((r.avg_shared_read_latency() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_reads_sums_kinds() {
+        let n = NodeStats {
+            remote_mem_reads: 5,
+            shared_hits: 3,
+            shared_coalesced: 1,
+            forwarded_reads: 2,
+            ..Default::default()
+        };
+        assert_eq!(n.network_reads(), 11);
+    }
+
+    #[test]
+    fn summary_is_printable() {
+        let r = report_with(vec![NodeStats::default()], 42);
+        let s = r.summary();
+        assert!(s.contains("42 cycles"));
+    }
+}

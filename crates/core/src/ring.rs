@@ -1,0 +1,513 @@
+//! The ring shared cache (paper §3.3–3.4): the delay-line memory organized
+//! as a system-wide cache.
+//!
+//! Timing comes from [`optics::RingGeometry`] — a block is readable only
+//! when its frame physically passes the reading node — while this module
+//! owns the cache *contents*: which block occupies which frame, since
+//! when, how replacement victims are chosen, and the §3.4 update-window
+//! race FIFO (a block updated less than two roundtrips ago may not be read
+//! from the ring until the home has certainly refreshed the circulating
+//! copy).
+//!
+//! Organization (paper defaults, both evaluated in §5.3):
+//! * a block maps to exactly one channel (`block mod C`), and within the
+//!   channel is **fully associative** ([`ChannelAssoc::Fully`]) or pinned
+//!   to one frame ([`ChannelAssoc::Direct`], Fig. 11);
+//! * the native replacement policy is **Random** — "the next shared cache
+//!   line to pass through the home node" — with LRU/LFU/FIFO alternatives
+//!   for the Fig. 12 study.
+
+use std::collections::HashMap;
+
+use crate::config::{ChannelAssoc, Replacement, RingConfig};
+use desim::time::{Duration, Time};
+use memsys::BlockAddr;
+use optics::{RingGeometry, RingSlot};
+
+/// Result of probing the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingLookup {
+    /// The block circulates and was inserted long enough ago to be valid:
+    /// data is in the reader's access register at `ready`.
+    Hit {
+        /// When the frame has passed the reading node.
+        ready: Time,
+    },
+    /// The block was inserted by another node's in-flight miss and is not
+    /// yet valid; it will be readable at `ready`. Counted separately from
+    /// hits — it rides on someone else's memory access.
+    InFlight {
+        /// When the (future) frame contents pass the reading node.
+        ready: Time,
+    },
+    /// Not in the shared cache.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Frame {
+    block: Option<BlockAddr>,
+    valid_from: Time,
+    last_used: Time,
+    uses: u64,
+    inserted: Time,
+}
+
+/// Counters published by the ring cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingStats {
+    /// Valid-block hits.
+    pub hits: u64,
+    /// In-flight coalesced hits.
+    pub coalesced: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Block insertions.
+    pub inserts: u64,
+    /// Insertions that displaced a valid block.
+    pub replacements: u64,
+    /// Updates applied to circulating copies.
+    pub updates_applied: u64,
+    /// Reads delayed by the §3.4 update window.
+    pub window_delays: u64,
+}
+
+impl RingStats {
+    /// Hit rate over definitive lookups (hits / (hits + misses)); the
+    /// paper's shared-cache hit-rate metric. Coalesced in-flight hits are
+    /// counted as misses (they did cause a memory access).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared cache contents + policies.
+///
+/// Keys are *coherence-block* numbers (64 B); when the shared-cache line
+/// is wider (the §5.3.2 block-size study), consecutive coherence blocks
+/// share one ring line and a single insertion makes all of them resident —
+/// the pollution the paper measures.
+#[derive(Debug, Clone)]
+pub struct RingCache {
+    geom: RingGeometry,
+    cfg: RingConfig,
+    frames: Vec<Frame>, // channel-major: frames[ch * fpc + f]
+    present: HashMap<BlockAddr, usize>,
+    window: HashMap<BlockAddr, Time>,
+    window_len: Duration,
+    /// Coherence blocks per shared-cache line (1 at the base 64 B).
+    blocks_per_line: u64,
+    stats: RingStats,
+}
+
+impl RingCache {
+    /// Builds an empty shared cache for `nodes` taps.
+    pub fn new(cfg: RingConfig, nodes: usize) -> Self {
+        let geom = cfg.geometry(nodes);
+        let frames = vec![Frame::default(); cfg.channels.max(1) * cfg.frames_per_channel];
+        assert!(cfg.block_bytes >= 64 && cfg.block_bytes.is_multiple_of(64));
+        Self {
+            geom,
+            cfg,
+            frames,
+            present: HashMap::new(),
+            window: HashMap::new(),
+            // Two roundtrips: the §3.4 upper bound on home-update latency
+            // (zero when the study ablates the race window).
+            window_len: if cfg.race_window { 2 * cfg.roundtrip } else { 0 },
+            blocks_per_line: cfg.block_bytes / 64,
+            stats: RingStats::default(),
+        }
+    }
+
+    /// The ring line holding a coherence block.
+    #[inline]
+    fn line_of(&self, block: BlockAddr) -> BlockAddr {
+        block / self.blocks_per_line
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &RingGeometry {
+        &self.geom
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &RingStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn slot_index(&self, s: RingSlot) -> usize {
+        s.channel * self.cfg.frames_per_channel + s.frame
+    }
+
+    #[inline]
+    fn slot_of_index(&self, i: usize) -> RingSlot {
+        RingSlot {
+            channel: i / self.cfg.frames_per_channel,
+            frame: i % self.cfg.frames_per_channel,
+        }
+    }
+
+    /// The §3.4 update window: earliest time a ring read of `block` may
+    /// begin.
+    fn window_start(&mut self, block: BlockAddr, now: Time) -> Time {
+        match self.window.get(&block) {
+            Some(&exp) if exp > now => {
+                self.stats.window_delays += 1;
+                exp
+            }
+            Some(_) => {
+                self.window.remove(&block);
+                now
+            }
+            None => now,
+        }
+    }
+
+    /// Probes the shared cache from `node` at `now`, updating reference
+    /// metadata and counters.
+    pub fn lookup(&mut self, block: BlockAddr, node: usize, now: Time) -> RingLookup {
+        if !self.cfg.enabled() {
+            return RingLookup::Miss;
+        }
+        let block = self.line_of(block);
+        let Some(&idx) = self.present.get(&block) else {
+            self.stats.misses += 1;
+            return RingLookup::Miss;
+        };
+        let start = self.window_start(block, now);
+        let slot = self.slot_of_index(idx);
+        let frame = &mut self.frames[idx];
+        if frame.valid_from <= now {
+            frame.last_used = now;
+            frame.uses += 1;
+            let ready = self.geom.frame_ready_at(slot, node, start);
+            self.stats.hits += 1;
+            RingLookup::Hit { ready }
+        } else {
+            let begin = start.max(frame.valid_from);
+            let ready = self.geom.frame_ready_at(slot, node, begin);
+            self.stats.coalesced += 1;
+            RingLookup::InFlight { ready }
+        }
+    }
+
+    /// Non-mutating presence check (home nodes' hash table, §3.4: the home
+    /// "checks if the block is already in any of its cache channels").
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.present.contains_key(&self.line_of(block))
+    }
+
+    /// Chooses the victim frame on `channel` for `block` per the
+    /// configured associativity/policy. Returns `(index, completes_at)` —
+    /// insertion finishes when the victim frame passes the `home` node.
+    fn choose_victim(&mut self, block: BlockAddr, channel: usize, home: usize, now: Time) -> (usize, Time) {
+        let fpc = self.cfg.frames_per_channel;
+        let base = channel * fpc;
+        if self.cfg.assoc == ChannelAssoc::Direct {
+            let f = ((block / self.cfg.channels as u64) % fpc as u64) as usize;
+            // (block here is already a line number.)
+            let slot = RingSlot { channel, frame: f };
+            let t = self.geom.frame_ready_at(slot, home, now) - self.geom.read_overhead;
+            return (base + f, t);
+        }
+        // Prefer an empty frame (soonest-passing among empties).
+        let mut empty: Option<(usize, Time)> = None;
+        for f in 0..fpc {
+            if self.frames[base + f].block.is_none() {
+                let slot = RingSlot { channel, frame: f };
+                let t = self.geom.frame_ready_at(slot, home, now) - self.geom.read_overhead;
+                if empty.is_none_or(|(_, bt)| t < bt) {
+                    empty = Some((base + f, t));
+                }
+            }
+        }
+        if let Some(hit) = empty {
+            return hit;
+        }
+        match self.cfg.replacement {
+            Replacement::Random => {
+                // The architecture's native choice: next frame to pass.
+                let (slot, t) = self.geom.next_frame_at(channel, home, now);
+                (self.slot_index(slot), t)
+            }
+            Replacement::Lru => self.victim_by_key(base, fpc, home, now, |fr| fr.last_used),
+            Replacement::Lfu => self.victim_by_key(base, fpc, home, now, |fr| fr.uses),
+            Replacement::Fifo => self.victim_by_key(base, fpc, home, now, |fr| fr.inserted),
+        }
+    }
+
+    fn victim_by_key<K: Ord, F: Fn(&Frame) -> K>(
+        &self,
+        base: usize,
+        fpc: usize,
+        home: usize,
+        now: Time,
+        key: F,
+    ) -> (usize, Time) {
+        let idx = (base..base + fpc)
+            .min_by_key(|&i| key(&self.frames[i]))
+            .expect("fpc > 0");
+        let slot = self.slot_of_index(idx);
+        let t = self.geom.frame_ready_at(slot, home, now) - self.geom.read_overhead;
+        (idx, t)
+    }
+
+    /// The home node inserts `block` at `now` (after reading it from
+    /// memory). Returns the time the circulating copy becomes valid.
+    /// No write-back is ever needed: memory is always up to date (§3.4).
+    pub fn insert(&mut self, block: BlockAddr, home: usize, now: Time) -> Time {
+        assert!(self.cfg.enabled(), "insert into disabled ring");
+        let block = self.line_of(block);
+        if let Some(&idx) = self.present.get(&block) {
+            // Already circulating (e.g., racing insert): keep it.
+            return self.frames[idx].valid_from.max(now);
+        }
+        let channel = self.geom.channel_of_block(block);
+        let (idx, at) = self.choose_victim(block, channel, home, now);
+        if let Some(old) = self.frames[idx].block {
+            self.present.remove(&old);
+            self.stats.replacements += 1;
+        }
+        self.frames[idx] = Frame {
+            block: Some(block),
+            valid_from: at,
+            last_used: at,
+            uses: 0,
+            inserted: at,
+        };
+        self.present.insert(block, idx);
+        self.stats.inserts += 1;
+        at
+    }
+
+    /// The home node applies a coherence update to the circulating copy,
+    /// opening the §3.4 race window for readers.
+    pub fn apply_update(&mut self, block: BlockAddr, now: Time) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        let block = self.line_of(block);
+        if self.present.contains_key(&block) {
+            self.stats.updates_applied += 1;
+            self.window.insert(block, now + self.window_len);
+            if self.window.len() > 8192 {
+                self.window.retain(|_, &mut exp| exp > now);
+            }
+        }
+    }
+
+    /// Number of distinct blocks currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Total block capacity.
+    pub fn capacity(&self) -> usize {
+        if self.cfg.enabled() {
+            self.frames.len()
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ring(policy: Replacement, assoc: ChannelAssoc) -> RingCache {
+        let cfg = RingConfig {
+            channels: 16, // one per node
+            replacement: policy,
+            assoc,
+            ..RingConfig::base()
+        };
+        RingCache::new(cfg, 16)
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        let block = 32u64; // channel 0, home 0
+        assert_eq!(r.lookup(block, 3, 100), RingLookup::Miss);
+        let valid = r.insert(block, 0, 100);
+        assert!((100..150).contains(&valid));
+        match r.lookup(block, 3, valid + 50) {
+            RingLookup::Hit { ready } => {
+                assert!(ready > valid + 50);
+                assert!(ready <= valid + 50 + 45);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(r.stats().hits, 1);
+        assert_eq!(r.stats().misses, 1);
+    }
+
+    #[test]
+    fn lookup_before_valid_is_in_flight() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        let block = 48u64;
+        let valid = r.insert(block, 0, 1000);
+        if valid > 1001 {
+            match r.lookup(block, 5, 1001) {
+                RingLookup::InFlight { ready } => assert!(ready >= valid),
+                other => panic!("expected in-flight, got {other:?}"),
+            }
+            assert_eq!(r.stats().coalesced, 1);
+        }
+    }
+
+    #[test]
+    fn channel_capacity_is_four_blocks() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        // Blocks 0,16,32,48,64 all map to channel 0 (16 channels).
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 10);
+        }
+        assert_eq!(r.occupancy(), 4);
+        r.insert(64, 0, 500);
+        assert_eq!(r.occupancy(), 4, "someone was replaced");
+        assert_eq!(r.stats().replacements, 1);
+        assert!(r.contains(64));
+    }
+
+    #[test]
+    fn random_policy_evicts_next_passing_frame() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 0);
+        }
+        // At node 0, frame boundaries pass at 10/20/30/40; at now=12 the
+        // next pass is frame 1.
+        let victim_block = r.frames[1].block.unwrap();
+        r.insert(64, 0, 12);
+        assert!(!r.contains(victim_block), "frame 1's block evicted");
+    }
+
+    #[test]
+    fn lru_policy_keeps_recently_used() {
+        let mut r = small_ring(Replacement::Lru, ChannelAssoc::Fully);
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 0);
+        }
+        // Touch three of them much later; block 16 stays least recent.
+        for b in [0u64, 32, 48] {
+            r.lookup(b, 1, 1000);
+        }
+        r.insert(64, 0, 2000);
+        assert!(!r.contains(16));
+        assert!(r.contains(0) && r.contains(32) && r.contains(48));
+    }
+
+    #[test]
+    fn lfu_policy_keeps_frequently_used() {
+        let mut r = small_ring(Replacement::Lfu, ChannelAssoc::Fully);
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 0);
+        }
+        for t in 0..5 {
+            r.lookup(0, 1, 100 + t * 50);
+            r.lookup(32, 1, 120 + t * 50);
+            r.lookup(48, 1, 140 + t * 50);
+        }
+        r.insert(64, 0, 2000);
+        assert!(!r.contains(16), "never-referenced block evicted");
+    }
+
+    #[test]
+    fn fifo_policy_evicts_oldest_insert() {
+        let mut r = small_ring(Replacement::Fifo, ChannelAssoc::Fully);
+        r.insert(0, 0, 0);
+        r.insert(16, 0, 100);
+        r.insert(32, 0, 200);
+        r.insert(48, 0, 300);
+        // Heavy use of block 0 must not save it under FIFO.
+        for t in 0..10 {
+            r.lookup(0, 2, 400 + t * 40);
+        }
+        r.insert(64, 0, 1000);
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn direct_mapped_channels_conflict() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Direct);
+        // channel 0 blocks: 0, 16, 32... frame = (block/16) % 4:
+        // block 0 -> frame 0, block 64 -> frame 0 (64/16=4, 4%4=0).
+        r.insert(0, 0, 10);
+        assert!(r.contains(0));
+        r.insert(64, 0, 50);
+        assert!(!r.contains(0), "direct-mapped conflict evicts");
+        assert!(r.contains(64));
+        // blocks 16 (frame 1) and 0 can coexist? 0 was evicted; insert anew
+        r.insert(16, 0, 100);
+        assert!(r.contains(64) && r.contains(16));
+    }
+
+    #[test]
+    fn update_window_delays_readers() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        let block = 16u64;
+        let valid = r.insert(block, 0, 0);
+        let t = valid + 10;
+        r.apply_update(block, t);
+        match r.lookup(block, 4, t + 1) {
+            RingLookup::Hit { ready } => {
+                // Must not be readable before the 2-roundtrip window ends.
+                assert!(ready >= t + 80, "ready {ready} vs window end {}", t + 80);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().window_delays, 1);
+        // After the window, reads are prompt again.
+        match r.lookup(block, 4, t + 200) {
+            RingLookup::Hit { ready } => assert!(ready < t + 200 + 46),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_to_absent_block_is_ignored() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        r.apply_update(999, 10);
+        assert_eq!(r.stats().updates_applied, 0);
+    }
+
+    #[test]
+    fn disabled_ring_always_misses() {
+        let cfg = RingConfig {
+            channels: 0,
+            ..RingConfig::base()
+        };
+        let mut r = RingCache::new(cfg, 16);
+        assert_eq!(r.lookup(5, 0, 0), RingLookup::Miss);
+        assert_eq!(r.capacity(), 0);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        let v1 = r.insert(16, 0, 0);
+        let v2 = r.insert(16, 0, v1 + 5);
+        assert!(v2 >= v1);
+        assert_eq!(r.stats().inserts, 1);
+        assert_eq!(r.occupancy(), 1);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        r.lookup(0, 0, 0); // miss
+        let v = r.insert(0, 0, 0);
+        r.lookup(0, 0, v + 1); // hit
+        r.lookup(0, 0, v + 100); // hit
+        assert!((r.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! One-call experiment helpers used by the examples, tests and benches.
+
+use crate::config::SysConfig;
+use crate::machine::Machine;
+use crate::metrics::RunReport;
+use netcache_apps::{AppId, Workload};
+
+/// Runs one workload on one machine configuration.
+pub fn run_app(cfg: &SysConfig, workload: &Workload) -> RunReport {
+    Machine::new(cfg, workload).run()
+}
+
+/// Runs the same app at the same scale on 1 node and on `procs` nodes and
+/// returns `(t1, tp, speedup)` — the paper's Fig. 5 metric.
+pub fn speedup(cfg: &SysConfig, app: AppId, procs: usize, scale: f64) -> (u64, u64, f64) {
+    let uni = {
+        let c = SysConfig {
+            nodes: 1,
+            ..*cfg
+        };
+        let mut c = c;
+        // A 1-node ring would be degenerate; the uniprocessor baseline has
+        // no network at all.
+        c.ring.channels = 0;
+        run_app(&c, &Workload::new(app, 1).scale(scale))
+    };
+    let par = run_app(cfg, &Workload::new(app, procs).scale(scale));
+    let s = uni.cycles as f64 / par.cycles as f64;
+    (uni.cycles, par.cycles, s)
+}
+
+/// Runs `app` across a set of configurations (e.g., the four
+/// architectures) and returns the reports in order.
+pub fn compare<'a>(
+    cfgs: impl IntoIterator<Item = &'a SysConfig>,
+    app: AppId,
+    procs: usize,
+    scale: f64,
+) -> Vec<RunReport> {
+    cfgs.into_iter()
+        .map(|c| run_app(c, &Workload::new(app, procs).scale(scale)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Arch;
+
+    #[test]
+    fn run_app_smoke() {
+        let cfg = SysConfig::base(Arch::NetCache).with_nodes(2);
+        let r = run_app(&cfg, &Workload::new(AppId::Water, 2).scale(0.25));
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn speedup_is_positive() {
+        let cfg = SysConfig::base(Arch::NetCache).with_nodes(4);
+        let (t1, tp, s) = speedup(&cfg, AppId::Sor, 4, 0.02);
+        assert!(t1 > 0 && tp > 0);
+        assert!(s > 1.0, "4-node SOR speedup {s:.2}");
+    }
+
+    #[test]
+    fn compare_returns_all_systems() {
+        let cfgs: Vec<SysConfig> = Arch::ALL
+            .iter()
+            .map(|&a| SysConfig::base(a).with_nodes(2))
+            .collect();
+        let rs = compare(cfgs.iter(), AppId::Fft, 2, 0.02);
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0].arch, "NetCache");
+        assert_eq!(rs[3].arch, "DMON-I");
+    }
+}

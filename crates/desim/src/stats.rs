@@ -1,0 +1,294 @@
+//! Metric-collection primitives.
+//!
+//! The simulators accumulate millions of samples; these types keep that
+//! cheap (a few adds per sample) while still supporting the aggregate
+//! numbers the paper reports: counts, means, rates, and latency
+//! distributions.
+
+use std::fmt;
+
+use crate::time::Duration;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `total` (0 when `total` is 0).
+    pub fn rate_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running sum / count / min / max — everything needed for a mean without
+/// storing samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    sum: u64,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 if empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 if empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A power-of-two-bucketed histogram of durations: bucket `i` holds samples
+/// in `[2^i, 2^(i+1))`, bucket 0 holds `{0, 1}`. 64 buckets cover `u64`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    acc: Accumulator,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            acc: Accumulator::new(),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: Duration) -> usize {
+        (64 - v.max(1).leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records a duration sample.
+    #[inline]
+    pub fn record(&mut self, v: Duration) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.acc.record(v);
+    }
+
+    /// Underlying accumulator (mean/min/max/count).
+    pub fn summary(&self) -> &Accumulator {
+        &self.acc
+    }
+
+    /// Count in the bucket covering `v`.
+    pub fn count_at(&self, v: Duration) -> u64 {
+        self.buckets[Self::bucket_of(v)]
+    }
+
+    /// Approximate p-th percentile (0.0..=1.0) from bucket boundaries.
+    /// Returns the upper bound of the bucket containing the percentile.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let total = self.acc.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.acc.merge(&other.acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert!((c.rate_of(10) - 0.5).abs() < 1e-12);
+        assert_eq!(c.rate_of(0), 0.0);
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes_and_mean() {
+        let mut a = Accumulator::new();
+        for v in [5u64, 1, 9, 5] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 9);
+        assert_eq!(a.sum(), 20);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(2);
+        let mut b = Accumulator::new();
+        b.record(10);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 10);
+        // merging into empty copies
+        let mut e = Accumulator::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!((256..=1023).contains(&p50), "p50 bucket bound {p50}");
+        assert_eq!(h.summary().count(), 1000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.summary().count(), 3);
+        assert_eq!(a.count_at(10), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Tag-array cache models for the per-node L1 and L2.
+//!
+//! The simulation is timing-only: caches track *which* blocks are present
+//! (tags + valid + dirty), never data values. The model supports
+//! direct-mapped (the paper's base L1/L2), set-associative, and fully
+//! associative organizations with LRU within a set, which is what the
+//! parameter-space study needs.
+
+use crate::addr::{Addr, BlockAddr};
+
+/// Static cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCfg {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Block (line) size in bytes; power of two.
+    pub block_bytes: u64,
+    /// Ways per set; `0` means fully associative.
+    pub assoc: usize,
+}
+
+impl CacheCfg {
+    /// Direct-mapped cache of `size_bytes` with `block_bytes` lines.
+    pub fn direct(size_bytes: u64, block_bytes: u64) -> Self {
+        Self {
+            size_bytes,
+            block_bytes,
+            assoc: 1,
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / self.block_bytes) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        let ways = if self.assoc == 0 {
+            self.lines()
+        } else {
+            self.assoc
+        };
+        (self.lines() / ways).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: BlockAddr, // full block number (generous, but simple and correct)
+    valid: bool,
+    dirty: bool,
+    stamp: u64, // LRU clock
+}
+
+/// A victim chosen during a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block number of the evicted line.
+    pub block: BlockAddr,
+    /// Whether the line was dirty (needs a writeback under DMON-I).
+    pub dirty: bool,
+}
+
+/// Result of a read probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Block present.
+    Hit,
+    /// Block absent; caller must fetch and then call [`Cache::fill`].
+    Miss,
+}
+
+/// A timing-model cache: tags only, LRU replacement within a set.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheCfg,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    // statistics
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(cfg: CacheCfg) -> Self {
+        assert!(cfg.block_bytes.is_power_of_two());
+        assert!(cfg.size_bytes.is_multiple_of(cfg.block_bytes));
+        let lines = cfg.lines();
+        let ways = if cfg.assoc == 0 { lines } else { cfg.assoc };
+        assert!(lines.is_multiple_of(ways), "lines must divide into whole sets");
+        Self {
+            cfg,
+            sets: lines / ways,
+            ways,
+            lines: vec![Line::default(); lines],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn cfg(&self) -> &CacheCfg {
+        &self.cfg
+    }
+
+    #[inline]
+    fn block_of(&self, a: Addr) -> BlockAddr {
+        a / self.cfg.block_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, b: BlockAddr) -> usize {
+        (b % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn set_range(&self, b: BlockAddr) -> std::ops::Range<usize> {
+        let s = self.set_of(b);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    /// Read access: updates LRU and hit/miss counters.
+    pub fn read(&mut self, a: Addr) -> ReadOutcome {
+        let b = self.block_of(a);
+        self.clock += 1;
+        let clock = self.clock;
+        for i in self.set_range(b) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.stamp = clock;
+                self.hits += 1;
+                return ReadOutcome::Hit;
+            }
+        }
+        self.misses += 1;
+        ReadOutcome::Miss
+    }
+
+    /// Non-destructive presence check (no LRU or counter update).
+    pub fn contains(&self, a: Addr) -> bool {
+        let b = self.block_of(a);
+        self.set_range(b)
+            .any(|i| self.lines[i].valid && self.lines[i].tag == b)
+    }
+
+    /// Inserts the block containing `a`, returning the victim if a valid
+    /// line was displaced. `dirty` marks the new line (DMON-I exclusive
+    /// fills; update protocols always fill clean).
+    pub fn fill(&mut self, a: Addr, dirty: bool) -> Option<Evicted> {
+        let b = self.block_of(a);
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(b);
+        // Already present (e.g., racing fill): refresh.
+        for i in range.clone() {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.stamp = clock;
+                line.dirty |= dirty;
+                return None;
+            }
+        }
+        // Prefer an invalid way.
+        let mut victim = range.start;
+        let mut oldest = u64::MAX;
+        for i in range {
+            let line = &self.lines[i];
+            if !line.valid {
+                victim = i;
+                break;
+            }
+            if line.stamp < oldest {
+                oldest = line.stamp;
+                victim = i;
+            }
+        }
+        let line = &mut self.lines[victim];
+        let evicted = line.valid.then_some(Evicted {
+            block: line.tag,
+            dirty: line.dirty,
+        });
+        *line = Line {
+            tag: b,
+            valid: true,
+            dirty,
+            stamp: clock,
+        };
+        evicted
+    }
+
+    /// Applies a local write or a received update *in place*: marks the
+    /// block dirty if `dirty`, returns true if the block was present.
+    /// Does not allocate (update protocols do not write-allocate remotely).
+    pub fn write_update(&mut self, a: Addr, dirty: bool) -> bool {
+        let b = self.block_of(a);
+        self.clock += 1;
+        let clock = self.clock;
+        for i in self.set_range(b) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.stamp = clock;
+                line.dirty |= dirty;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates the block containing `a`; returns the line's dirtiness
+    /// if it was present.
+    pub fn invalidate(&mut self, a: Addr) -> Option<bool> {
+        let b = self.block_of(a);
+        for i in self.set_range(b) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.valid = false;
+                return Some(line.dirty);
+            }
+        }
+        None
+    }
+
+    /// Clears the dirty bit (after a writeback); true if block was present.
+    pub fn clean(&mut self, a: Addr) -> bool {
+        let b = self.block_of(a);
+        for i in self.set_range(b) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (used between disjoint program phases in
+    /// some unit tests).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+
+    /// Read hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Read misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all reads (0.0 if no reads).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_cache() -> Cache {
+        // 4 lines of 64 B, direct-mapped.
+        Cache::new(CacheCfg::direct(256, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm_cache();
+        assert_eq!(c.read(0), ReadOutcome::Miss);
+        c.fill(0, false);
+        assert_eq!(c.read(0), ReadOutcome::Hit);
+        assert_eq!(c.read(63), ReadOutcome::Hit, "same block");
+        assert_eq!(c.read(64), ReadOutcome::Miss, "next block");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = dm_cache();
+        // Addresses 0 and 256 map to the same set (4 sets * 64 B).
+        c.fill(0, false);
+        let ev = c.fill(256, false).expect("conflict evicts");
+        assert_eq!(ev.block, 0);
+        assert!(!c.contains(0));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut c = dm_cache();
+        c.fill(0, true);
+        let ev = c.fill(256, false).unwrap();
+        assert!(ev.dirty);
+        let ev2 = c.fill(0, false).unwrap();
+        assert_eq!(ev2.block, 4); // block 256/64
+        assert!(!ev2.dirty);
+    }
+
+    #[test]
+    fn set_associative_lru() {
+        // 2 sets x 2 ways, 64 B blocks.
+        let mut c = Cache::new(CacheCfg {
+            size_bytes: 256,
+            block_bytes: 64,
+            assoc: 2,
+        });
+        // Blocks 0, 2, 4 all map to set 0 (block % 2 == 0).
+        c.fill(0, false);
+        c.fill(2 * 64, false);
+        assert_eq!(c.read(0), ReadOutcome::Hit); // 0 now MRU
+        let ev = c.fill(4 * 64, false).unwrap();
+        assert_eq!(ev.block, 2, "LRU way (block 2) evicted");
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = Cache::new(CacheCfg {
+            size_bytes: 256,
+            block_bytes: 64,
+            assoc: 0,
+        });
+        for b in 0..4u64 {
+            c.fill(b * 64, false);
+        }
+        for b in 0..4u64 {
+            assert!(c.contains(b * 64), "block {b} should fit");
+        }
+        // Fifth block evicts the LRU (block 0).
+        let ev = c.fill(4 * 64, false).unwrap();
+        assert_eq!(ev.block, 0);
+    }
+
+    #[test]
+    fn write_update_only_touches_present_blocks() {
+        let mut c = dm_cache();
+        assert!(!c.write_update(0, true), "absent: no allocate");
+        c.fill(0, false);
+        assert!(c.write_update(0, true));
+        let ev = c.fill(256, false).unwrap();
+        assert!(ev.dirty, "update marked it dirty");
+    }
+
+    #[test]
+    fn invalidate_and_clean() {
+        let mut c = dm_cache();
+        c.fill(0, true);
+        assert!(c.clean(0));
+        assert_eq!(c.invalidate(0), Some(false));
+        assert_eq!(c.invalidate(0), None);
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn refill_of_present_block_does_not_evict() {
+        let mut c = dm_cache();
+        c.fill(0, false);
+        assert!(c.fill(0, true).is_none());
+        // dirty bit was merged in
+        let ev = c.fill(256, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        // 4 KB direct-mapped, 32 B blocks -> 128 lines.
+        let c = Cache::new(CacheCfg::direct(4 * 1024, 32));
+        assert_eq!(c.cfg().lines(), 128);
+        assert_eq!(c.cfg().sets(), 128);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = dm_cache();
+        c.fill(0, false);
+        c.fill(64, false);
+        assert_eq!(c.valid_lines(), 2);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # memsys — memory-hierarchy substrate
+//!
+//! Everything below the network in a simulated node, shared by all four
+//! architectures of the NetCache reproduction:
+//!
+//! * [`addr`] — the simulated physical address space: word/block
+//!   arithmetic, the shared/private split, and block-level interleaving of
+//!   shared data across home nodes (paper §4.1).
+//! * [`cache`] — tag-array cache models (direct-mapped, set-associative,
+//!   fully associative) used for the per-node L1/L2 and unit-tested against
+//!   classical cache behaviour.
+//! * [`wbuf`] — the 16-entry *coalescing write buffer* (paper §4.1): writes
+//!   to the same block merge into one entry carrying a word mask, so an
+//!   update message transfers only the words actually modified.
+//! * [`memory`] — a memory module with a FIFO input queue, separate read
+//!   latency and occupancy, and the hysteresis-based update-ack flow
+//!   control of the NetCache coherence protocol (paper §3.4).
+
+pub mod addr;
+pub mod cache;
+pub mod memory;
+pub mod wbuf;
+
+pub use addr::{Addr, AddressMap, BlockAddr, NodeId, WordIdx};
+pub use cache::{Cache, CacheCfg, Evicted, ReadOutcome};
+pub use memory::{MemoryCfg, MemoryModule};
+pub use wbuf::{CoalescingWriteBuffer, PushOutcome, WriteEntry};

@@ -1,0 +1,120 @@
+//! Optical hardware cost accounting (paper §2.2, §2.3, §3.2, §3.3).
+//!
+//! The paper compares architectures partly by the number of optical
+//! components (fixed/tunable transmitters and receivers) each node needs:
+//!
+//! * **DMON** (I-SPEED variant): 2 fixed Tx + 1 tunable Tx + 3 fixed Rx
+//!   per node → `6p`.
+//! * **DMON-U** (extra update broadcast channel): one more fixed receiver
+//!   per node → `7p`.
+//! * **LambdaNet**: 1 fixed Tx + `p` fixed Rx per node → `p(p+1)`,
+//!   quadratic — the reason the paper calls it impractical.
+//! * **NetCache**: star subnetwork 3 fixed Tx + 3 fixed Rx + 1 tunable Rx
+//!   per node; ring subnetwork 2 tunable Rx + `C/p` fixed Tx + `C/p` fixed
+//!   Rx per node → `9p + 2C` total (= `25p` at the base `C = 8p`, "a
+//!   factor of 4 greater than DMON, but linear in p").
+
+/// Component counts for a whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Fixed-wavelength transmitters.
+    pub fixed_tx: usize,
+    /// Fixed-wavelength receivers.
+    pub fixed_rx: usize,
+    /// Tunable transmitters.
+    pub tunable_tx: usize,
+    /// Tunable receivers.
+    pub tunable_rx: usize,
+}
+
+impl HardwareCost {
+    /// Total optical component count.
+    pub fn total(&self) -> usize {
+        self.fixed_tx + self.fixed_rx + self.tunable_tx + self.tunable_rx
+    }
+
+    /// DMON with I-SPEED (paper §2.2).
+    pub fn dmon_i(p: usize) -> Self {
+        Self {
+            fixed_tx: 2 * p,
+            fixed_rx: 3 * p,
+            tunable_tx: p,
+            tunable_rx: 0,
+        }
+    }
+
+    /// DMON extended with a second coherence broadcast channel (§2.2):
+    /// each node receives from both coherence channels.
+    pub fn dmon_u(p: usize) -> Self {
+        Self {
+            fixed_rx: 4 * p,
+            ..Self::dmon_i(p)
+        }
+    }
+
+    /// LambdaNet (§2.3): one transmit channel per node, every node
+    /// receives all channels.
+    pub fn lambdanet(p: usize) -> Self {
+        Self {
+            fixed_tx: p,
+            fixed_rx: p * p,
+            tunable_tx: 0,
+            tunable_rx: 0,
+        }
+    }
+
+    /// NetCache (§3.2–3.3) with `c` ring cache channels.
+    pub fn netcache(p: usize, c: usize) -> Self {
+        assert!(c.is_multiple_of(p), "cache channels must divide evenly over homes");
+        let per_node_ring_sets = c / p;
+        Self {
+            // star: request + home + coherence transmitters
+            fixed_tx: 3 * p + per_node_ring_sets * p,
+            // star: request + 2 coherence receivers; ring: recirculation
+            fixed_rx: 3 * p + per_node_ring_sets * p,
+            tunable_tx: 0,
+            // star: 1 (home channels); ring: 2 (current + pre-tuned next)
+            tunable_rx: 3 * p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmon_costs_are_linear() {
+        assert_eq!(HardwareCost::dmon_i(16).total(), 6 * 16);
+        assert_eq!(HardwareCost::dmon_u(16).total(), 7 * 16);
+    }
+
+    #[test]
+    fn lambdanet_is_quadratic() {
+        assert_eq!(HardwareCost::lambdanet(16).total(), 16 * 17);
+        assert_eq!(HardwareCost::lambdanet(32).total(), 32 * 33);
+    }
+
+    #[test]
+    fn netcache_base_is_25p() {
+        // C = 8p: 9p + 2C = 25p ("a factor of 4 greater than DMON").
+        let p = 16;
+        let cost = HardwareCost::netcache(p, 8 * p);
+        assert_eq!(cost.total(), 25 * p);
+        let ratio = cost.total() as f64 / HardwareCost::dmon_i(p).total() as f64;
+        assert!((ratio - 4.17).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn netcache_cost_linear_in_p_at_fixed_channels_per_home() {
+        let c16 = HardwareCost::netcache(16, 128).total();
+        let c32 = HardwareCost::netcache(32, 256).total();
+        assert_eq!(c32, 2 * c16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn netcache_requires_divisible_channels() {
+        HardwareCost::netcache(16, 100);
+    }
+}

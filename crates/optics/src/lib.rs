@@ -1,0 +1,27 @@
+//! # optics — optical-network substrate
+//!
+//! Models the optical technology layer of the paper at the same abstraction
+//! level the paper simulates:
+//!
+//! * [`params`] — WDM channel physics turned into cycles: transmission
+//!   rate → bits per pcycle, message sizes → transfer times, fiber length →
+//!   propagation (flight) delay, and the delay-line storage equation of
+//!   §2.1 (`capacity = channels × rate × roundtrip`).
+//! * [`ring`] — the delay-line **ring geometry**: cache-channel frames
+//!   circulate with fixed phases; the time until a given frame next passes
+//!   a given node is a pure function of `now`, which is what gives shared
+//!   cache reads their "average 25-cycle" delay and random replacement its
+//!   "next frame to pass" victim.
+//! * [`cost`] — the optical hardware cost model of §2–3 (transmitter /
+//!   receiver counts: DMON `2p+2`-ish, LambdaNet `p²`, NetCache `7p+2`).
+//!
+//! Channel *arbitration* (TDMA, FIFO) reuses [`desim`]'s servers; the
+//! architecture-specific channel assemblies live in `netcache-core`.
+
+pub mod cost;
+pub mod params;
+pub mod ring;
+
+pub use cost::HardwareCost;
+pub use params::OpticalParams;
+pub use ring::{RingGeometry, RingSlot};

@@ -1,0 +1,148 @@
+//! WDM channel physics in pcycles.
+//!
+//! Everything downstream needs just three conversions, all derived from the
+//! per-channel transmission rate and the 200 MHz processor clock:
+//!
+//! * bits per pcycle (`rate_gbps × 5ns`),
+//! * message transfer times (`ceil(bits / bits_per_pcycle)`),
+//! * flight time over the fiber (`length / 2.1e8 m/s`, §2.1).
+//!
+//! The paper's base is 10 Gbit/s → 50 bits/pcycle: a 64 B block takes
+//! ⌈512/50⌉ = 11 pcycles, matching the "block transfer 11" row of Table 1.
+
+use desim::time::Duration;
+
+/// Speed of light in fiber (paper §2.1): ~2.1e8 m/s.
+pub const FIBER_SPEED_M_PER_S: f64 = 2.1e8;
+
+/// Per-channel optical parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalParams {
+    /// Per-channel transmission rate, Gbit/s (paper base: 10).
+    pub rate_gbps: f64,
+    /// Receiver/transmitter tuning delay, pcycles (paper: 4).
+    pub tuning_delay: Duration,
+    /// One-way propagation ("flight") delay across the star, pcycles
+    /// (paper tables: 1).
+    pub flight: Duration,
+}
+
+impl OpticalParams {
+    /// The paper's base technology point.
+    pub fn base() -> Self {
+        Self {
+            rate_gbps: 10.0,
+            tuning_delay: 4,
+            flight: 1,
+        }
+    }
+
+    /// Base parameters at a different transmission rate (Fig. 14 sweep).
+    pub fn with_rate(rate_gbps: f64) -> Self {
+        Self {
+            rate_gbps,
+            ..Self::base()
+        }
+    }
+
+    /// Channel bandwidth in bits per pcycle (5 ns).
+    #[inline]
+    pub fn bits_per_pcycle(&self) -> f64 {
+        self.rate_gbps * 5.0
+    }
+
+    /// Cycles to transfer `bits` on one channel (ceil; a partial cycle
+    /// still occupies the synchronous electronic interface for a cycle).
+    #[inline]
+    pub fn transfer_bits(&self, bits: u64) -> Duration {
+        if bits == 0 {
+            return 0;
+        }
+        (bits as f64 / self.bits_per_pcycle()).ceil() as Duration
+    }
+
+    /// Cycles to transfer `bytes` of payload plus `header_bits` of framing.
+    #[inline]
+    pub fn transfer(&self, bytes: u64, header_bits: u64) -> Duration {
+        self.transfer_bits(bytes * 8 + header_bits)
+    }
+
+    /// Cycles for light to traverse `meters` of fiber.
+    #[inline]
+    pub fn propagation(&self, meters: f64) -> Duration {
+        let seconds = meters / FIBER_SPEED_M_PER_S;
+        (seconds / 5e-9).ceil() as Duration
+    }
+
+    /// Bits stored in flight on `meters` of one channel — the delay-line
+    /// storage equation of §2.1 ("at 10 Gbit/s, about 5 Kbit can be stored
+    /// on one 100 m WDM channel").
+    pub fn bits_in_flight(&self, meters: f64) -> u64 {
+        let seconds = meters / FIBER_SPEED_M_PER_S;
+        (self.rate_gbps * 1e9 * seconds) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rates() {
+        let p = OpticalParams::base();
+        assert_eq!(p.bits_per_pcycle(), 50.0);
+    }
+
+    #[test]
+    fn block_transfer_matches_table1() {
+        let p = OpticalParams::base();
+        // 64-byte block, no header: 512 bits / 50 = 10.24 -> 11 cycles.
+        assert_eq!(p.transfer(64, 0), 11);
+        // DMON block reply carries a 64-bit header -> 12 cycles (Table 2).
+        assert_eq!(p.transfer(64, 64), 12);
+    }
+
+    #[test]
+    fn update_transfer_matches_table3() {
+        let p = OpticalParams::base();
+        // 8 words x 32 bits + 112-bit header = 368 bits -> 8 cycles
+        // (NetCache / DMON-U update row of Table 3).
+        assert_eq!(p.transfer_bits(8 * 32 + 112), 8);
+        // LambdaNet update: lighter 80-bit header -> 7 cycles.
+        assert_eq!(p.transfer_bits(8 * 32 + 80), 7);
+        // DMON-I invalidate: address-only 80-bit message -> 2 cycles.
+        assert_eq!(p.transfer_bits(80), 2);
+    }
+
+    #[test]
+    fn rate_scaling() {
+        let slow = OpticalParams::with_rate(5.0);
+        let fast = OpticalParams::with_rate(20.0);
+        assert_eq!(slow.transfer(64, 0), 21); // 512/25 = 20.48
+        assert_eq!(fast.transfer(64, 0), 6); // 512/100 = 5.12
+    }
+
+    #[test]
+    fn delay_line_storage_equation() {
+        let p = OpticalParams::base();
+        // Paper §2.1: "at 10 Gbits/s, about 5 Kbits can be stored on one
+        // 100 meters-long WDM channel".
+        let bits = p.bits_in_flight(100.0);
+        assert!((4500..5200).contains(&bits), "bits={bits}");
+    }
+
+    #[test]
+    fn propagation_rounds_up() {
+        let p = OpticalParams::base();
+        // 45 m / 2.1e8 = 214.3 ns -> 43 pcycles.
+        assert_eq!(p.propagation(45.0), 43);
+        assert_eq!(p.propagation(1.0), 1);
+        assert_eq!(p.propagation(0.0), 0);
+    }
+
+    #[test]
+    fn zero_bits_transfer_is_free() {
+        let p = OpticalParams::base();
+        assert_eq!(p.transfer_bits(0), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared-cache design study for one application: capacity sweep,
+//! replacement policies, channel associativity — the single-app version of
+//! the paper's §5.3.
+//!
+//! ```text
+//! cargo run --release --example cache_study [app] [scale]
+//! ```
+
+use netcache::apps::{AppId, Workload};
+use netcache::{run_app, Arch, ChannelAssoc, Replacement, SysConfig};
+
+fn run(cfg: &SysConfig, app: AppId, scale: f64) -> (u64, f64) {
+    let r = run_app(cfg, &Workload::new(app, cfg.nodes).scale(scale));
+    (r.cycles, 100.0 * r.shared_cache_hit_rate())
+}
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "ocean".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let Some(app) = AppId::ALL.iter().find(|a| a.name() == app_name).copied() else {
+        eprintln!("unknown app {app_name}");
+        std::process::exit(1);
+    };
+    println!("--- {} on the 16-node NetCache machine ---", app.name());
+
+    println!("\nshared-cache capacity (paper Figs. 8-10):");
+    for kb in [0u64, 16, 32, 64] {
+        let cfg = SysConfig::base(Arch::NetCache).with_ring_kb(kb);
+        let (cycles, hit) = run(&cfg, app, scale);
+        println!("  {kb:>3} KB: {cycles:>10} cycles, hit rate {hit:>5.1}%");
+    }
+
+    println!("\nreplacement policy at 32 KB (paper Fig. 12):");
+    for pol in Replacement::ALL {
+        let cfg = SysConfig::base(Arch::NetCache).with_replacement(pol);
+        let (cycles, hit) = run(&cfg, app, scale);
+        println!("  {:<7}: {cycles:>10} cycles, hit rate {hit:>5.1}%", pol.name());
+    }
+
+    println!("\nchannel associativity at 32 KB (paper Fig. 11):");
+    for assoc in [ChannelAssoc::Fully, ChannelAssoc::Direct] {
+        let cfg = SysConfig::base(Arch::NetCache).with_assoc(assoc);
+        let (cycles, hit) = run(&cfg, app, scale);
+        println!("  {assoc:?}: {cycles:>10} cycles, hit rate {hit:>5.1}%");
+    }
+}

@@ -1,0 +1,224 @@
+//! `netcache` — command-line driver for the simulator.
+//!
+//! ```text
+//! netcache run <app> [--arch A] [--scale S] [--procs P] [--ring-kb K]
+//! netcache compare <app> [--scale S] [--procs P]
+//! netcache sweep <app> [--scale S]            # ring sizes 0/16/32/64 KB
+//! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
+//! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
+//! netcache profile <app> [--scale S] [--procs P]       # stream statistics
+//! ```
+//!
+//! Architectures: `netcache` (default), `lambdanet`, `dmon-u`, `dmon-i`.
+
+use std::io::Write as _;
+use std::process::exit;
+
+use netcache::apps::{trace, AppId, OpStream, Workload};
+use netcache::mem::AddressMap;
+use netcache::{run_app, Arch, Machine, SysConfig};
+
+struct Args {
+    positional: Vec<String>,
+    arch: Arch,
+    scale: f64,
+    procs: usize,
+    ring_kb: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netcache <run|compare|sweep|trace|replay|profile> ... \
+         [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        arch: Arch::NetCache,
+        scale: 0.1,
+        procs: 16,
+        ring_kb: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--arch" => {
+                args.arch = match grab("--arch").to_lowercase().as_str() {
+                    "netcache" => Arch::NetCache,
+                    "lambdanet" => Arch::LambdaNet,
+                    "dmon-u" | "dmonu" => Arch::DmonU,
+                    "dmon-i" | "dmoni" => Arch::DmonI,
+                    other => {
+                        eprintln!("unknown architecture {other}");
+                        usage()
+                    }
+                }
+            }
+            "--scale" => {
+                args.scale = grab("--scale").parse().unwrap_or_else(|_| usage());
+            }
+            "--procs" => {
+                args.procs = grab("--procs").parse().unwrap_or_else(|_| usage());
+            }
+            "--ring-kb" => {
+                args.ring_kb = Some(grab("--ring-kb").parse().unwrap_or_else(|_| usage()));
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a}");
+                usage()
+            }
+            _ => args.positional.push(a),
+        }
+    }
+    args
+}
+
+fn app_by_name(name: &str) -> AppId {
+    AppId::ALL
+        .iter()
+        .find(|a| a.name() == name)
+        .copied()
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown app {name}; one of: {}",
+                AppId::ALL.map(|a| a.name()).join(" ")
+            );
+            exit(2)
+        })
+}
+
+fn config(args: &Args) -> SysConfig {
+    let mut cfg = SysConfig::base(args.arch).with_nodes(args.procs);
+    if let Some(kb) = args.ring_kb {
+        cfg = cfg.with_ring_kb(kb);
+    }
+    cfg
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(cmd) = args.positional.first().cloned() else {
+        usage()
+    };
+    match cmd.as_str() {
+        "run" => {
+            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let cfg = config(&args);
+            let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
+            println!("{}", r.summary());
+            println!(
+                "read stall {:.1}%  wb stall {:.1}%  sync {:.1}%  avg shared-read {:.0} pcycles",
+                100.0 * r.read_latency_fraction(),
+                100.0 * r.nodes.iter().map(|n| n.wb_stall).sum::<u64>() as f64
+                    / (r.cycles as f64 * r.nodes.len() as f64),
+                100.0 * r.sync_fraction(),
+                r.avg_shared_read_latency()
+            );
+        }
+        "compare" => {
+            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let mut base = 0u64;
+            for arch in Arch::ALL {
+                let cfg = SysConfig::base(arch).with_nodes(args.procs);
+                let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
+                if base == 0 {
+                    base = r.cycles;
+                }
+                println!(
+                    "{:<10} {:>12} cycles  {:>6.2}x",
+                    r.arch,
+                    r.cycles,
+                    r.cycles as f64 / base as f64
+                );
+            }
+        }
+        "sweep" => {
+            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            for kb in [0u64, 16, 32, 64] {
+                let cfg = SysConfig::base(Arch::NetCache)
+                    .with_nodes(args.procs)
+                    .with_ring_kb(kb);
+                let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
+                println!(
+                    "{kb:>3} KB ring: {:>12} cycles, hit rate {:>5.1}%",
+                    r.cycles,
+                    100.0 * r.shared_cache_hit_rate()
+                );
+            }
+        }
+        "trace" => {
+            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let dir = args.positional.get(2).cloned().unwrap_or_else(|| usage());
+            std::fs::create_dir_all(&dir).expect("create trace dir");
+            let map = AddressMap::new(args.procs, 64);
+            let wl = Workload::new(app, args.procs).scale(args.scale);
+            for (p, stream) in wl.streams(&map).into_iter().enumerate() {
+                let path = format!("{dir}/{}.{p}.trace", app.name());
+                let mut f = std::fs::File::create(&path).expect("create trace file");
+                for op in stream {
+                    writeln!(f, "{}", trace::format_op(&op)).expect("write");
+                }
+                println!("wrote {path}");
+            }
+        }
+        "replay" => {
+            let dir = args.positional.get(1).cloned().unwrap_or_else(|| usage());
+            let mut paths: Vec<_> = std::fs::read_dir(&dir)
+                .expect("read trace dir")
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().map(|e| e == "trace").unwrap_or(false))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                eprintln!("no .trace files in {dir}");
+                exit(1);
+            }
+            let streams: Vec<OpStream> = paths
+                .iter()
+                .map(|p| {
+                    let f = std::fs::File::open(p).expect("open trace");
+                    trace::into_stream(trace::load(f).unwrap_or_else(|e| {
+                        eprintln!("{}: {e}", p.display());
+                        exit(1)
+                    }))
+                })
+                .collect();
+            let procs = streams.len();
+            let cfg = SysConfig::base(args.arch).with_nodes(procs.max(args.procs));
+            let r = Machine::with_streams(&cfg, streams).run();
+            println!("replayed {procs} traces: {}", r.summary());
+        }
+        "profile" => {
+            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let map = AddressMap::new(args.procs, 64);
+            let wl = Workload::new(app, args.procs).scale(args.scale);
+            println!(
+                "{:<6} {:>10} {:>10} {:>12} {:>8} {:>8} {:>12}",
+                "proc", "reads", "writes", "compute", "locks", "barriers", "blocks"
+            );
+            for (p, stream) in wl.streams(&map).into_iter().enumerate() {
+                let prof = trace::profile(stream);
+                println!(
+                    "{p:<6} {:>10} {:>10} {:>12} {:>8} {:>8} {:>12}",
+                    prof.reads,
+                    prof.writes,
+                    prof.compute,
+                    prof.acquires,
+                    prof.barriers,
+                    prof.footprint_blocks
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
