@@ -74,7 +74,9 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 // The sparsity pattern must be identical every iteration:
                 // re-seed per processor, not per phase.
                 let mut rng = stream_rng(seed, APP_TAG, me);
-                let mut c = Chunk::with_capacity((rows.clone().count() as u64 * per_row * 4) as usize + 1024);
+                let mut c = Chunk::with_capacity(
+                    (rows.clone().count() as u64 * per_row * 4) as usize + 1024,
+                );
                 let bar = (iter as u32) * 4;
                 // q = A * p over my rows.
                 for row in rows.clone() {
@@ -85,7 +87,6 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                         let col = rng.below(n); // gather target
                         c.read(p_vec, col, ELEM8);
                         c.compute(8); // index arithmetic + FMA + loop
-
                     }
                     c.write(q_vec, row, ELEM8);
                 }
@@ -180,10 +181,7 @@ mod tests {
         let map = AddressMap::new(4, 64);
         let w = Workload::new(crate::AppId::Cg, 4).scale(0.04);
         let ops: Vec<Op> = streams(&w, &map).remove(1).collect();
-        let acquires = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Acquire(_)))
-            .count() as u64;
+        let acquires = ops.iter().filter(|o| matches!(o, Op::Acquire(_))).count() as u64;
         let p = Params::scaled(0.04);
         assert_eq!(acquires, 2 * p.iters);
     }

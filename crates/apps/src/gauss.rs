@@ -125,10 +125,7 @@ mod tests {
             } else {
                 s.iter().position(|o| *o == Op::Barrier(2 * k - 1)).unwrap()
             };
-            let end = s
-                .iter()
-                .position(|o| *o == Op::Barrier(2 * k + 1))
-                .unwrap();
+            let end = s.iter().position(|o| *o == Op::Barrier(2 * k + 1)).unwrap();
             s[start..end].iter().filter(|o| o.is_ref()).count()
         };
         assert!(count_step(0) > count_step(10));

@@ -103,7 +103,12 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     for r in partition(d.saturating_sub(2), procs, me) {
                         let r = r + 1;
                         for col in 1..d - 1 {
-                            c.read_at(src + ((r * 2 % (prm.dim(l.saturating_sub(1)))) * prm.dim(l.saturating_sub(1)) + col) * ELEM);
+                            c.read_at(
+                                src + ((r * 2 % (prm.dim(l.saturating_sub(1))))
+                                    * prm.dim(l.saturating_sub(1))
+                                    + col)
+                                    * ELEM,
+                            );
                             c.read_at(grid + (r * d + col) * ELEM);
                             c.compute(4);
                             c.write_at(grid + (r * d + col) * ELEM);

@@ -67,7 +67,11 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     return None;
                 }
                 let mut rng = stream_rng(seed ^ pass, APP_TAG, me);
-                let (from, to) = if pass % 2 == 0 { (src, dst) } else { (dst, src) };
+                let (from, to) = if pass % 2 == 0 {
+                    (src, dst)
+                } else {
+                    (dst, src)
+                };
                 let mut c =
                     Chunk::with_capacity(((mine.end - mine.start) * 4 + prm.radix * 4) as usize);
                 let bar = (pass as u32) * 3;

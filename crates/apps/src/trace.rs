@@ -58,8 +58,14 @@ pub fn parse_line(line: &str) -> Result<Option<Op>, String> {
         "W" => Op::Write(
             u64::from_str_radix(rest, 16).map_err(|e| format!("bad address {rest:?}: {e}"))?,
         ),
-        "A" => Op::Acquire(rest.parse().map_err(|e| format!("bad lock id {rest:?}: {e}"))?),
-        "L" => Op::Release(rest.parse().map_err(|e| format!("bad lock id {rest:?}: {e}"))?),
+        "A" => Op::Acquire(
+            rest.parse()
+                .map_err(|e| format!("bad lock id {rest:?}: {e}"))?,
+        ),
+        "L" => Op::Release(
+            rest.parse()
+                .map_err(|e| format!("bad lock id {rest:?}: {e}"))?,
+        ),
         "B" => Op::Barrier(
             rest.parse()
                 .map_err(|e| format!("bad barrier id {rest:?}: {e}"))?,

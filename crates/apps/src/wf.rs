@@ -64,8 +64,7 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 if k >= n {
                     return None;
                 }
-                let mut c =
-                    Chunk::with_capacity(((rows.end - rows.start) * n * 3) as usize + 8);
+                let mut c = Chunk::with_capacity(((rows.end - rows.start) * n * 3) as usize + 8);
                 // Serial section: the owner of row k sweeps it first
                 // (modeling the refresh/broadcast step of the parallel
                 // algorithm). Everyone else arrives at the barrier early

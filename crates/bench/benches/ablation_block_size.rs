@@ -27,8 +27,7 @@ fn main() {
                 Box::new(move || run_cell(&wide, app)),
             ];
             let reports = par_run(jobs);
-            let penalty =
-                100.0 * (reports[1].cycles as f64 / reports[0].cycles as f64 - 1.0);
+            let penalty = 100.0 * (reports[1].cycles as f64 / reports[0].cycles as f64 - 1.0);
             Row {
                 label: app.name().to_string(),
                 values: vec![

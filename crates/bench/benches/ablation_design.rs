@@ -28,9 +28,9 @@ fn main() {
         .map(|&app| {
             let base = machine(Arch::NetCache);
             let cfgs = [
-                variant(&base, true, true),   // the architecture
-                variant(&base, false, true),  // ring-probe-first reads
-                variant(&base, true, false),  // no race window (unsafe)
+                variant(&base, true, true),  // the architecture
+                variant(&base, false, true), // ring-probe-first reads
+                variant(&base, true, false), // no race window (unsafe)
             ];
             let jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = cfgs
                 .into_iter()

@@ -1,101 +1,112 @@
-//! Criterion microbenchmarks of the simulation substrates: these guard the
+//! Microbenchmarks of the simulation substrates: these guard the
 //! simulator's own performance (a full Fig. 6 sweep runs ~50 simulations,
 //! so the per-event cost matters).
+//!
+//! Hand-rolled harness (criterion is not in the sanctioned dependency
+//! set): each benchmark is warmed up, then timed over enough iterations
+//! to fill ~200 ms, and reported as ns/iter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use desim::{EventQueue, FifoServer, SlottedServer, Xoshiro256StarStar};
 use memsys::{Cache, CacheCfg};
 use netcache_apps::{AppId, Workload};
 use netcache_core::{run_app, Arch, RingCache, RingConfig, SysConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(i * 7 % 997, i);
+/// Times `f` and prints ns/iter. `budget_ms` bounds total measuring time.
+fn bench(name: &str, budget_ms: u64, mut f: impl FnMut()) {
+    // Warm-up: a few iterations to fault in caches and branch predictors.
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 20 && warm < 1_000 {
+        f();
+        warm += 1;
+    }
+    // Measure: run in batches until the budget elapses.
+    let t1 = Instant::now();
+    let mut iters = 0u64;
+    while t1.elapsed().as_millis() < budget_ms as u128 {
+        for _ in 0..warm.max(1) {
+            f();
+        }
+        iters += warm.max(1);
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<28} {ns:>12.1} ns/iter ({iters} iters)");
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", 200, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(i * 7 % 997, i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
+    });
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new(CacheCfg::direct(16 * 1024, 64));
+    let mut rng = Xoshiro256StarStar::seeded(1);
+    bench("l2_read_fill_stream", 200, || {
+        let a = rng.below(1 << 20) * 64;
+        if cache.read(a) == memsys::ReadOutcome::Miss {
+            cache.fill(a, false);
+        }
+        black_box(cache.hits());
+    });
+}
+
+fn bench_servers() {
+    let mut s = SlottedServer::new(16, 1);
+    let mut t = 0u64;
+    bench("slotted_acquire", 200, || {
+        t += 3;
+        black_box(s.acquire((t % 16) as usize, t, 1));
+    });
+    let mut fs = FifoServer::new();
+    let mut ft = 0u64;
+    bench("fifo_acquire", 200, || {
+        ft += 5;
+        black_box(fs.acquire(ft, 11));
+    });
+}
+
+fn bench_ring() {
+    let mut ring = RingCache::new(RingConfig::base(), 16);
+    let mut rng = Xoshiro256StarStar::seeded(2);
+    let mut t = 0u64;
+    bench("ring_lookup_insert", 200, || {
+        t += 17;
+        let block = rng.below(4096);
+        match ring.lookup(block, (t % 16) as usize, t) {
+            netcache_core::RingLookup::Miss => {
+                ring.insert(block, (block % 16) as usize, t);
             }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
+            hit => {
+                black_box(hit);
             }
-            black_box(acc)
-        })
+        }
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_read_fill_stream", |b| {
-        let mut cache = Cache::new(CacheCfg::direct(16 * 1024, 64));
-        let mut rng = Xoshiro256StarStar::seeded(1);
-        b.iter(|| {
-            let a = rng.below(1 << 20) * 64;
-            if cache.read(a) == memsys::ReadOutcome::Miss {
-                cache.fill(a, false);
-            }
-            black_box(cache.hits())
-        })
+fn bench_full_run() {
+    bench("full_sim_water_4node_tiny", 1_000, || {
+        let cfg = SysConfig::base(Arch::NetCache).with_nodes(4);
+        let wl = Workload::new(AppId::Water, 4).scale(0.25);
+        black_box(run_app(&cfg, &wl).cycles);
     });
 }
 
-fn bench_servers(c: &mut Criterion) {
-    c.bench_function("slotted_acquire", |b| {
-        let mut s = SlottedServer::new(16, 1);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 3;
-            black_box(s.acquire((t % 16) as usize, t, 1))
-        })
-    });
-    c.bench_function("fifo_acquire", |b| {
-        let mut s = FifoServer::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 5;
-            black_box(s.acquire(t, 11))
-        })
-    });
+fn main() {
+    bench_event_queue();
+    bench_cache();
+    bench_servers();
+    bench_ring();
+    bench_full_run();
 }
-
-fn bench_ring(c: &mut Criterion) {
-    c.bench_function("ring_lookup_insert", |b| {
-        let mut ring = RingCache::new(RingConfig::base(), 16);
-        let mut rng = Xoshiro256StarStar::seeded(2);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 17;
-            let block = rng.below(4096);
-            match ring.lookup(block, (t % 16) as usize, t) {
-                netcache_core::RingLookup::Miss => {
-                    ring.insert(block, (block % 16) as usize, t);
-                }
-                hit => {
-                    black_box(hit);
-                }
-            }
-        })
-    });
-}
-
-fn bench_full_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("full_simulation");
-    g.sample_size(10);
-    g.bench_function("water_4node_tiny", |b| {
-        b.iter(|| {
-            let cfg = SysConfig::base(Arch::NetCache).with_nodes(4);
-            let wl = Workload::new(AppId::Water, 4).scale(0.25);
-            black_box(run_app(&cfg, &wl).cycles)
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache,
-    bench_servers,
-    bench_ring,
-    bench_full_run
-);
-criterion_main!(benches);

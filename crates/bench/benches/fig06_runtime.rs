@@ -18,7 +18,9 @@ fn main() {
         let cfgs: Vec<SysConfig> = Arch::ALL.iter().map(|&a| machine(a)).collect();
         let mut jobs: Vec<Box<dyn FnOnce() -> RunReport + Send>> = cfgs
             .into_iter()
-            .map(|cfg| Box::new(move || run_cell(&cfg, app)) as Box<dyn FnOnce() -> RunReport + Send>)
+            .map(|cfg| {
+                Box::new(move || run_cell(&cfg, app)) as Box<dyn FnOnce() -> RunReport + Send>
+            })
             .collect();
         let no_ring = SysConfig {
             ring: netcache_core::RingConfig::sized_kb(0),
@@ -37,14 +39,19 @@ fn main() {
     emit(
         "fig06_runtime",
         "Run time normalized to NetCache (16 nodes, 32 KB shared cache)",
-        &["NetCache", "LambdaNet", "DMON-U", "DMON-I", "NC-noring", "NC cycles"],
+        &[
+            "NetCache",
+            "LambdaNet",
+            "DMON-U",
+            "DMON-I",
+            "NC-noring",
+            "NC cycles",
+        ],
         &rows,
     );
 
     // The paper's headline averages for quick comparison.
-    let avg = |col: usize| {
-        rows.iter().map(|r| r.values[col]).sum::<f64>() / rows.len() as f64
-    };
+    let avg = |col: usize| rows.iter().map(|r| r.values[col]).sum::<f64>() / rows.len() as f64;
     println!();
     println!(
         "averages vs NetCache: LambdaNet {:.2}x (paper ~1.26x), DMON-U {:.2}x (~1.32x), DMON-I {:.2}x (~1.50x), no-ring {:.2}x (~LambdaNet)",

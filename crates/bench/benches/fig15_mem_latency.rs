@@ -24,8 +24,8 @@ fn main() {
                 })
                 .collect();
             let reports = par_run(jobs);
-            let slope = (reports[2].cycles as f64 - reports[0].cycles as f64)
-                / reports[0].cycles as f64;
+            let slope =
+                (reports[2].cycles as f64 - reports[0].cycles as f64) / reports[0].cycles as f64;
             let mut values: Vec<f64> = reports.iter().map(|r| r.cycles as f64).collect();
             values.push(100.0 * slope);
             rows.push(Row {

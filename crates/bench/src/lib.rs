@@ -2,8 +2,9 @@
 //!
 //! One bench target per table/figure of the paper (see `benches/`). This
 //! library holds what they share: the per-application input scales, the
-//! machine builders, a tiny parallel sweep runner, and the table/series
-//! printers that emit the same rows the paper reports.
+//! machine builders, thin wrappers over `netcache_core::sweep` (the
+//! parallel experiment engine all figures now run through), and the
+//! table/series printers that emit the same rows the paper reports.
 //!
 //! ## Knobs (environment variables)
 //!
@@ -68,37 +69,33 @@ pub fn machine(arch: Arch) -> SysConfig {
 /// Runs one (config, app) cell; the workload takes its processor count
 /// from the configuration so sweeps over machine sizes just work.
 pub fn run_cell(cfg: &SysConfig, app: AppId) -> RunReport {
-    run_app(cfg, &Workload::new(app, cfg.nodes).scale(default_scale(app)))
+    run_app(
+        cfg,
+        &Workload::new(app, cfg.nodes).scale(default_scale(app)),
+    )
 }
 
-/// Runs a set of independent jobs on two worker threads (the harness box
-/// is small; the win is overlap, not scale).
+/// The paper's full evaluation grid — every architecture × every
+/// application at the bench node count and per-app scales — as a sweep
+/// ready to run (`paper_grid().run(jobs)`).
+pub fn paper_grid() -> netcache_core::Sweep {
+    netcache_core::SweepSpec::new()
+        .archs(Arch::ALL)
+        .all_apps()
+        .nodes([procs()])
+        .scale_for(default_scale)
+        .build()
+}
+
+/// Runs a set of independent jobs across every host core, returning the
+/// results in input order. A thin wrapper over the sweep engine's
+/// [`netcache_core::sweep::par_map`] — one pool implementation serves
+/// the figures, the CLI and the library helpers.
 pub fn par_run<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let n = jobs.len();
-    let mut slots: Vec<parking_lot::Mutex<Option<T>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || parking_lot::Mutex::new(None));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let queue = parking_lot::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
-    crossbeam::scope(|s| {
-        for _ in 0..std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2) {
-            s.spawn(|_| loop {
-                let job = { queue.lock().pop() };
-                match job {
-                    Some((i, f)) => {
-                        let v = f();
-                        *slots[i].lock() = Some(v);
-                        next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("job not run"))
-        .collect()
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
+    netcache_core::sweep::par_map(jobs, workers, |_, f| f())
 }
 
 /// One row of an emitted experiment table.

@@ -267,7 +267,12 @@ impl SysConfig {
                 self.ring.channels, self.nodes
             ));
         }
-        if self.ring.enabled() && !self.ring.roundtrip.is_multiple_of(self.ring.frames_per_channel as u64) {
+        if self.ring.enabled()
+            && !self
+                .ring
+                .roundtrip
+                .is_multiple_of(self.ring.frames_per_channel as u64)
+        {
             return Err("roundtrip must divide evenly into frames".into());
         }
         if self.l2.block_bytes != 64 {

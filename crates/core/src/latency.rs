@@ -121,14 +121,18 @@ pub fn dmon_miss(cfg: &SysConfig) -> Vec<Component> {
         ("Avg. TDMA delay", avg_tdma(cfg.nodes, w)),
         ("Reservation", w),
         ("Tuning delay", cfg.optics.tuning_delay),
-        ("Memory request", cfg.optics.transfer_bits(DMON_REQUEST_BITS)),
+        (
+            "Memory request",
+            cfg.optics.transfer_bits(DMON_REQUEST_BITS),
+        ),
         ("Flight", cfg.optics.flight),
         ("Memory read", cfg.mem.read_latency),
         ("Avg. TDMA delay", avg_tdma(cfg.nodes, w)),
         ("Reservation", w),
         (
             "Block transfer",
-            cfg.optics.transfer(cfg.l2.block_bytes, DMON_BLOCK_HEADER_BITS),
+            cfg.optics
+                .transfer(cfg.l2.block_bytes, DMON_BLOCK_HEADER_BITS),
         ),
         ("Flight", cfg.optics.flight),
         ("NI to 2nd-level cache", NI_TO_L2),

@@ -15,6 +15,7 @@
 //! | [`latency`] | Tables 1–3 | contention-free latency breakdowns |
 //! | [`config`] | §4.1, §5.3–5.4 | base machine + every studied parameter |
 //! | [`metrics`] | §5 | the measurements the figures are made of |
+//! | [`sweep`] | §5 (all grids) | the parallel experiment sweep engine |
 //!
 //! ## Example
 //!
@@ -35,6 +36,7 @@ pub mod metrics;
 pub mod proto;
 pub mod ring;
 pub mod runner;
+pub mod sweep;
 
 pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
 pub use machine::Machine;
@@ -42,3 +44,4 @@ pub use metrics::{NodeStats, RunReport};
 pub use proto::{Node, ProtoCounters, Protocol, ReadKind};
 pub use ring::{RingCache, RingLookup, RingStats};
 pub use runner::{compare, run_app, speedup};
+pub use sweep::{Sweep, SweepPoint, SweepResult, SweepRun, SweepSpec};

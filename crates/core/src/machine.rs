@@ -243,7 +243,8 @@ impl Machine {
             Stall::Sync => self.stats[w].sync_stall += waited,
         }
         self.procs[w].state = ProcState::Running;
-        self.queue.schedule(t.max(self.queue.now()), Event::Resume(w));
+        self.queue
+            .schedule(t.max(self.queue.now()), Event::Resume(w));
     }
 
     /// Kicks the retirement process if idle and work exists.
@@ -433,8 +434,14 @@ impl Machine {
                         lock.waiters.push_back(p);
                         self.procs[p].pending = Some(op);
                         self.procs[p].state = ProcState::BlockedLock(l);
-                        self.procs[p].block_start = now;
-                        let _ = seen;
+                        // The waiter's own broadcast must complete before
+                        // it can take the lock: charge [now, seen) as sync
+                        // stall up front and block from `seen`, so a grant
+                        // arriving earlier (the holder released while our
+                        // message was still in flight) cannot resume us —
+                        // or be accounted — before the broadcast lands.
+                        self.stats[p].sync_stall += seen - now;
+                        self.procs[p].block_start = seen;
                         return;
                     }
                 }
@@ -512,7 +519,8 @@ impl Machine {
 
     #[inline]
     fn schedule_resume(&mut self, p: usize, at: Time) {
-        self.queue.schedule(at.max(self.queue.now()), Event::Resume(p));
+        self.queue
+            .schedule(at.max(self.queue.now()), Event::Resume(p));
     }
 }
 
@@ -629,6 +637,57 @@ mod tests {
                 .collect(),
         )
         .run()
+    }
+
+    #[test]
+    fn contended_waiter_stall_includes_broadcast_cost() {
+        // Regression test for contended-lock stall accounting. A waiter's
+        // own sync broadcast must complete before it can take the lock;
+        // the stall window therefore runs from the acquire to
+        // max(broadcast completion, grant), not just to the grant.
+        //
+        // Construction: NetCache splits nodes across two coherence
+        // channels by parity, so proc0 (channel 0) and proc1 (channel 1)
+        // broadcast independently. Proc3 shares channel 1 with proc1 and
+        // jams it with large coalesced update broadcasts — TDMA slots
+        // only block across clients for messages longer than one slot,
+        // which sync broadcasts are not but multi-word updates are. The
+        // holder's release on the clear channel 0 then produces a grant
+        // (~cycle 16) long before the waiter's own jammed broadcast
+        // lands (~cycle 65). The buggy accounting resumed the waiter at
+        // the grant, charging only ~29 cycles of sync stall; correct
+        // accounting charges the full ~65.
+        let mut cfg = SysConfig::base(Arch::NetCache).with_nodes(4);
+        cfg.ring.channels = 0; // node count below 16: simplest valid ring
+        let s0 = vec![Op::Acquire(7), Op::Compute(1), Op::Release(7)];
+        // Long critical section so proc1's own release happens after the
+        // jam drains and doesn't blur the measurement.
+        let s1 = vec![
+            Op::Compute(2),
+            Op::Acquire(7),
+            Op::Compute(100),
+            Op::Release(7),
+        ];
+        let s2 = vec![Op::Compute(1)];
+        let mut s3 = Vec::new();
+        for b in 0..8u64 {
+            for w in 0..16u64 {
+                s3.push(Op::Write(memsys::addr::SHARED_BASE + b * 64 + w * 4));
+            }
+        }
+        let r = custom(&cfg, vec![s0, s1, s2, s3]);
+        // Thresholds sit between the buggy values (29 / 131) and the
+        // correct ones (65 / 167), with margin on both sides.
+        assert!(
+            r.nodes[1].sync_stall >= 50,
+            "waiter resumed before its broadcast completed: sync_stall {}",
+            r.nodes[1].sync_stall
+        );
+        assert!(
+            r.nodes[1].finish >= 150,
+            "waiter finished too early: {}",
+            r.nodes[1].finish
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::ring::RingStats;
 use desim::time::Time;
 
 /// Per-processor accounting, updated by the machine as it executes.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Cycles doing useful work (instructions + 1 per reference).
     pub busy: u64,
@@ -60,7 +60,11 @@ impl NodeStats {
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the sweep engine's property tests
+/// use it to assert that parallel and serial sweeps are bit-identical
+/// (the simulator is deterministic; see `sweep`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Architecture name.
     pub arch: &'static str,

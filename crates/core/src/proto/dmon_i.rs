@@ -195,9 +195,8 @@ impl Protocol for DmonI {
         let addr = block * 64;
         let home = self.map.home_of(addr);
         let granted = self.ch.reserve(node, t + consts::L2_TO_NI);
-        let sent =
-            self.ch.homes[home].acquire(granted, self.ch.block_transfer_hdr)
-                + self.ch.block_transfer_hdr;
+        let sent = self.ch.homes[home].acquire(granted, self.ch.block_transfer_hdr)
+            + self.ch.block_transfer_hdr;
         nodes[home].mem.writeback(sent + self.ch.optics.flight);
     }
 

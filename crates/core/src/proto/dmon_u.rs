@@ -59,13 +59,7 @@ impl DmonChannels {
 
     /// The §2.2 read path: request via home-channel of `home`, memory
     /// read, reply on the requester's home channel (Table 2, right).
-    pub fn memory_read(
-        &mut self,
-        nodes: &mut [Node],
-        node: usize,
-        home: usize,
-        t: Time,
-    ) -> Time {
+    pub fn memory_read(&mut self, nodes: &mut [Node], node: usize, home: usize, t: Time) -> Time {
         let granted = self.reserve(node, t);
         let tuned = granted + self.optics.tuning_delay;
         let req = self.homes[home].acquire(tuned, self.request_transfer) + self.request_transfer;
@@ -139,7 +133,14 @@ impl Protocol for DmonU {
         sent + self.ch.optics.flight
     }
 
-    fn evicted_l2(&mut self, _nodes: &mut [Node], _node: usize, _block: u64, _dirty: bool, _t: Time) {
+    fn evicted_l2(
+        &mut self,
+        _nodes: &mut [Node],
+        _node: usize,
+        _block: u64,
+        _dirty: bool,
+        _t: Time,
+    ) {
         // Write-update: memory is always current.
     }
 

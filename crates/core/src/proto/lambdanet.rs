@@ -93,7 +93,14 @@ impl Protocol for LambdaNet {
         sent + self.optics.flight
     }
 
-    fn evicted_l2(&mut self, _nodes: &mut [Node], _node: usize, _block: u64, _dirty: bool, _t: Time) {
+    fn evicted_l2(
+        &mut self,
+        _nodes: &mut [Node],
+        _node: usize,
+        _block: u64,
+        _dirty: bool,
+        _t: Time,
+    ) {
         // Write-update: memory is always current.
     }
 
@@ -162,7 +169,9 @@ mod tests {
         };
         let t = 123;
         let ack = p.retire_shared_write(&mut nodes, 0, &entry, t);
-        let expect = latency::total(&latency::lambdanet_update(&SysConfig::base(Arch::LambdaNet)));
+        let expect = latency::total(&latency::lambdanet_update(&SysConfig::base(
+            Arch::LambdaNet,
+        )));
         assert_eq!(ack - t, expect);
     }
 

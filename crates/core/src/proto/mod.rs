@@ -74,7 +74,7 @@ pub struct ReadResult {
 }
 
 /// Protocol-level traffic counters (each protocol fills the relevant ones).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtoCounters {
     /// Update messages broadcast (update protocols).
     pub updates: u64,

@@ -181,7 +181,14 @@ impl Protocol for NetCacheProto {
         sent + self.optics.flight
     }
 
-    fn evicted_l2(&mut self, _nodes: &mut [Node], _node: usize, _block: u64, _dirty: bool, _t: Time) {
+    fn evicted_l2(
+        &mut self,
+        _nodes: &mut [Node],
+        _node: usize,
+        _block: u64,
+        _dirty: bool,
+        _t: Time,
+    ) {
         // Update protocol: memory is always current; evictions are silent.
     }
 
@@ -209,7 +216,12 @@ impl Protocol for NetCacheProto {
             ));
         }
         for (i, ch) in self.homes.iter().enumerate() {
-            out.push((format!("home{i}"), ch.served(), ch.busy_total(), ch.mean_wait()));
+            out.push((
+                format!("home{i}"),
+                ch.served(),
+                ch.busy_total(),
+                ch.mean_wait(),
+            ));
         }
         out
     }
@@ -345,7 +357,12 @@ mod tests {
         // Read right after the update: must wait out ~2 roundtrips.
         let r2 = p.read_remote(&mut nodes, 2, a, ack);
         assert_eq!(r2.kind, ReadKind::SharedHit);
-        assert!(r2.done > t + 80, "window respected: {} vs {}", r2.done, t + 80);
+        assert!(
+            r2.done > t + 80,
+            "window respected: {} vs {}",
+            r2.done,
+            t + 80
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ struct Frame {
 }
 
 /// Counters published by the ring cache.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RingStats {
     /// Valid-block hits.
     pub hits: u64,
@@ -73,9 +73,10 @@ pub struct RingStats {
 }
 
 impl RingStats {
-    /// Hit rate over definitive lookups (hits / (hits + misses)); the
-    /// paper's shared-cache hit-rate metric. Coalesced in-flight hits are
-    /// counted as misses (they did cause a memory access).
+    /// Hit rate over all lookups — `hits / (hits + misses + coalesced)` —
+    /// the paper's shared-cache hit-rate metric. Coalesced in-flight hits
+    /// count toward the denominator but not the numerator: they ride on
+    /// another node's insertion, so a memory access was still performed.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses + self.coalesced;
         if total == 0 {
@@ -119,7 +120,11 @@ impl RingCache {
             window: HashMap::new(),
             // Two roundtrips: the §3.4 upper bound on home-update latency
             // (zero when the study ablates the race window).
-            window_len: if cfg.race_window { 2 * cfg.roundtrip } else { 0 },
+            window_len: if cfg.race_window {
+                2 * cfg.roundtrip
+            } else {
+                0
+            },
             blocks_per_line: cfg.block_bytes / 64,
             stats: RingStats::default(),
         }
@@ -207,7 +212,13 @@ impl RingCache {
     /// Chooses the victim frame on `channel` for `block` per the
     /// configured associativity/policy. Returns `(index, completes_at)` —
     /// insertion finishes when the victim frame passes the `home` node.
-    fn choose_victim(&mut self, block: BlockAddr, channel: usize, home: usize, now: Time) -> (usize, Time) {
+    fn choose_victim(
+        &mut self,
+        block: BlockAddr,
+        channel: usize,
+        home: usize,
+        now: Time,
+    ) -> (usize, Time) {
         let fpc = self.cfg.frames_per_channel;
         let base = channel * fpc;
         if self.cfg.assoc == ChannelAssoc::Direct {

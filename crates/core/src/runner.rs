@@ -3,7 +3,16 @@
 use crate::config::SysConfig;
 use crate::machine::Machine;
 use crate::metrics::RunReport;
+use crate::sweep::{par_map, Sweep, SweepPoint};
 use netcache_apps::{AppId, Workload};
+
+/// Worker count for the implicit parallelism in [`compare`] and
+/// [`speedup`]: every host core (the runs are independent simulations).
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Runs one workload on one machine configuration.
 pub fn run_app(cfg: &SysConfig, workload: &Workload) -> RunReport {
@@ -11,35 +20,38 @@ pub fn run_app(cfg: &SysConfig, workload: &Workload) -> RunReport {
 }
 
 /// Runs the same app at the same scale on 1 node and on `procs` nodes and
-/// returns `(t1, tp, speedup)` — the paper's Fig. 5 metric.
+/// returns `(t1, tp, speedup)` — the paper's Fig. 5 metric. The two runs
+/// are independent and execute concurrently through the sweep engine.
 pub fn speedup(cfg: &SysConfig, app: AppId, procs: usize, scale: f64) -> (u64, u64, f64) {
-    let uni = {
-        let c = SysConfig {
-            nodes: 1,
-            ..*cfg
-        };
-        let mut c = c;
-        // A 1-node ring would be degenerate; the uniprocessor baseline has
-        // no network at all.
-        c.ring.channels = 0;
-        run_app(&c, &Workload::new(app, 1).scale(scale))
+    let mut uni = SysConfig { nodes: 1, ..*cfg };
+    // A 1-node ring would be degenerate; the uniprocessor baseline has
+    // no network at all.
+    uni.ring.channels = 0;
+    let par = SysConfig {
+        nodes: procs,
+        ..*cfg
     };
-    let par = run_app(cfg, &Workload::new(app, procs).scale(scale));
-    let s = uni.cycles as f64 / par.cycles as f64;
-    (uni.cycles, par.cycles, s)
+    let sweep = Sweep::from_points(vec![
+        SweepPoint::new(uni, app, scale),
+        SweepPoint::new(par, app, scale),
+    ]);
+    let result = sweep.run(default_jobs());
+    let (t1, tp) = (result.runs[0].report.cycles, result.runs[1].report.cycles);
+    (t1, tp, t1 as f64 / tp as f64)
 }
 
 /// Runs `app` across a set of configurations (e.g., the four
-/// architectures) and returns the reports in order.
+/// architectures) in parallel and returns the reports in input order.
 pub fn compare<'a>(
     cfgs: impl IntoIterator<Item = &'a SysConfig>,
     app: AppId,
     procs: usize,
     scale: f64,
 ) -> Vec<RunReport> {
-    cfgs.into_iter()
-        .map(|c| run_app(c, &Workload::new(app, procs).scale(scale)))
-        .collect()
+    let cfgs: Vec<SysConfig> = cfgs.into_iter().copied().collect();
+    par_map(cfgs, default_jobs(), |_, c| {
+        run_app(&c, &Workload::new(app, procs).scale(scale))
+    })
 }
 
 #[cfg(test)]

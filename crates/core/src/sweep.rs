@@ -1,0 +1,705 @@
+//! The parallel experiment sweep engine.
+//!
+//! The paper's evaluation is a grid: (architecture × application ×
+//! machine parameters), 4 × 12 cells for Fig. 6 alone, plus the §5.3
+//! ablation sweeps. Every cell is one independent, deterministic
+//! [`Machine::run`] — no shared state, no ordering constraint — so the
+//! grid parallelizes embarrassingly well across host cores (the same
+//! observation Kumar & Sahu make for bufferless-NOC simulation on GPUs).
+//!
+//! This module is the one substrate all experiment drivers go through:
+//!
+//! * [`SweepSpec`] — a typed builder for the grid axes (arch, app, node
+//!   count, input scale, ring/L2 size overrides);
+//! * [`Sweep`] — the resolved point list; [`Sweep::run`] fans the points
+//!   out over a scoped worker pool, [`Sweep::run_serial`] is the
+//!   single-threaded fallback the property tests compare against;
+//! * [`SweepResult`] — reports in **grid order** (never completion
+//!   order) with per-run wall times, plus JSON/CSV emission;
+//! * [`par_map`] — the underlying generic ordered parallel map, reused
+//!   by `runner::compare`/`runner::speedup` and the bench harness.
+//!
+//! ## Why determinism survives parallel execution
+//!
+//! Each simulation owns its entire mutable world (event queue, caches,
+//! protocol state, RNG seeded from `SysConfig::seed`); threads share
+//! nothing but the work queue and the output slots. A sweep's reports
+//! are therefore bit-identical however the points are scheduled — which
+//! [`Sweep::run_serial`] lets tests assert directly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use netcache_apps::{AppId, Workload};
+
+use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
+use crate::machine::Machine;
+use crate::metrics::RunReport;
+
+/// One fully resolved cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable cell label, e.g. `netcache/sor/p16/s0.05`.
+    pub label: String,
+    /// The machine to build.
+    pub cfg: SysConfig,
+    /// The application to run on it.
+    pub app: AppId,
+    /// Input scale for the workload.
+    pub scale: f64,
+}
+
+impl SweepPoint {
+    /// Builds a point with the conventional label.
+    pub fn new(cfg: SysConfig, app: AppId, scale: f64) -> Self {
+        let mut label = format!(
+            "{}/{}/p{}/s{}",
+            cfg.arch.name().to_lowercase(),
+            app.name(),
+            cfg.nodes,
+            scale
+        );
+        if cfg.arch == Arch::NetCache {
+            if !cfg.ring.enabled() {
+                label.push_str("/no-ring");
+            } else if cfg.ring.capacity_bytes() != RingConfig::base().capacity_bytes() {
+                label.push_str(&format!("/ring{}k", cfg.ring.capacity_bytes() / 1024));
+            }
+        }
+        Self {
+            label,
+            cfg,
+            app,
+            scale,
+        }
+    }
+
+    /// Runs this one cell (workload sized to the configured node count).
+    pub fn run(&self) -> RunReport {
+        let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
+        Machine::new(&self.cfg, &wl).run()
+    }
+}
+
+/// Declarative builder for a sweep grid.
+///
+/// Axes default to a single value (the paper's base machine: NetCache,
+/// 16 nodes, scale 0.1) so a spec only names what it varies. Points are
+/// generated in a fixed nested order — arch outermost, then app, nodes,
+/// scale, ring override, L2 override — and [`SweepResult`] preserves it.
+///
+/// ```
+/// use netcache_core::sweep::SweepSpec;
+/// use netcache_core::Arch;
+/// use netcache_apps::AppId;
+///
+/// let sweep = SweepSpec::new()
+///     .archs(Arch::ALL)
+///     .apps([AppId::Sor, AppId::Fft])
+///     .nodes([4])
+///     .scale(0.02)
+///     .build();
+/// assert_eq!(sweep.points().len(), 8);
+/// let result = sweep.run(2);
+/// assert_eq!(result.runs.len(), 8);
+/// ```
+#[derive(Clone)]
+pub struct SweepSpec {
+    archs: Vec<Arch>,
+    apps: Vec<AppId>,
+    nodes: Vec<usize>,
+    scales: Vec<f64>,
+    /// Ring-size override axis in KB (`None` = keep the arch's base ring).
+    ring_kb: Vec<Option<u64>>,
+    /// L2-size override axis in KB (`None` = base 16 KB).
+    l2_kb: Vec<Option<u64>>,
+    replacement: Option<Replacement>,
+    assoc: Option<ChannelAssoc>,
+    mem_latency: Option<u64>,
+    /// Per-app scale policy; overrides the `scales` axis when set.
+    scale_for: Option<fn(AppId) -> f64>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// A spec for the base machine: one NetCache × one app slot must be
+    /// filled in by the caller via the axis methods.
+    pub fn new() -> Self {
+        Self {
+            archs: vec![Arch::NetCache],
+            apps: Vec::new(),
+            nodes: vec![16],
+            scales: vec![0.1],
+            ring_kb: vec![None],
+            l2_kb: vec![None],
+            replacement: None,
+            assoc: None,
+            mem_latency: None,
+            scale_for: None,
+        }
+    }
+
+    /// Architecture axis.
+    pub fn archs(mut self, archs: impl IntoIterator<Item = Arch>) -> Self {
+        self.archs = archs.into_iter().collect();
+        self
+    }
+
+    /// Application axis.
+    pub fn apps(mut self, apps: impl IntoIterator<Item = AppId>) -> Self {
+        self.apps = apps.into_iter().collect();
+        self
+    }
+
+    /// All twelve applications.
+    pub fn all_apps(self) -> Self {
+        self.apps(AppId::ALL)
+    }
+
+    /// Node-count axis.
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        self.nodes = nodes.into_iter().collect();
+        self
+    }
+
+    /// Input-scale axis.
+    pub fn scales(mut self, scales: impl IntoIterator<Item = f64>) -> Self {
+        self.scales = scales.into_iter().collect();
+        self
+    }
+
+    /// Single input scale (the common case).
+    pub fn scale(self, s: f64) -> Self {
+        self.scales([s])
+    }
+
+    /// Per-application scale policy (e.g. the bench harness's per-app
+    /// defaults); overrides the scale axis.
+    pub fn scale_for(mut self, f: fn(AppId) -> f64) -> Self {
+        self.scale_for = Some(f);
+        self
+    }
+
+    /// Ring shared-cache size axis in KB (Figs. 8–10; 0 disables the
+    /// ring). Varies NetCache only — the other architectures have no
+    /// ring, so they keep one base cell rather than duplicating.
+    pub fn ring_kb(mut self, kbs: impl IntoIterator<Item = u64>) -> Self {
+        self.ring_kb = kbs.into_iter().map(Some).collect();
+        self
+    }
+
+    /// L2 size axis in KB (Fig. 13).
+    pub fn l2_kb(mut self, kbs: impl IntoIterator<Item = u64>) -> Self {
+        self.l2_kb = kbs.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Fixed ring replacement policy override (Fig. 12 runs one spec per
+    /// policy).
+    pub fn replacement(mut self, r: Replacement) -> Self {
+        self.replacement = Some(r);
+        self
+    }
+
+    /// Fixed ring channel-associativity override (Fig. 11).
+    pub fn assoc(mut self, a: ChannelAssoc) -> Self {
+        self.assoc = Some(a);
+        self
+    }
+
+    /// Fixed memory-latency override (Fig. 15).
+    pub fn mem_latency(mut self, lat: u64) -> Self {
+        self.mem_latency = Some(lat);
+        self
+    }
+
+    /// Resolves the grid into its point list (fixed nested order).
+    ///
+    /// # Panics
+    /// If the app axis is empty or a generated configuration fails
+    /// [`SysConfig::validate`].
+    pub fn build(self) -> Sweep {
+        assert!(!self.apps.is_empty(), "sweep needs at least one app");
+        let scales: Vec<f64> = if self.scale_for.is_some() {
+            vec![f64::NAN] // placeholder; replaced per app below
+        } else {
+            self.scales.clone()
+        };
+        let mut points = Vec::new();
+        let base_ring = [None];
+        for &arch in &self.archs {
+            // The ring axis only varies NetCache — it is the only
+            // architecture with the ring cache, so crossing the axis
+            // with the others would just duplicate identical cells.
+            let ring_axis: &[Option<u64>] = if arch == Arch::NetCache {
+                &self.ring_kb
+            } else {
+                &base_ring
+            };
+            for &app in &self.apps {
+                for &nodes in &self.nodes {
+                    for &scale in &scales {
+                        for &ring in ring_axis {
+                            for &l2 in &self.l2_kb {
+                                let mut cfg = SysConfig::base(arch).with_nodes(nodes);
+                                if let Some(kb) = ring {
+                                    cfg = cfg.with_ring_kb(kb);
+                                }
+                                if let Some(kb) = l2 {
+                                    cfg = cfg.with_l2_kb(kb);
+                                }
+                                if let Some(r) = self.replacement {
+                                    cfg = cfg.with_replacement(r);
+                                }
+                                if let Some(a) = self.assoc {
+                                    cfg = cfg.with_assoc(a);
+                                }
+                                if let Some(lat) = self.mem_latency {
+                                    cfg = cfg.with_mem_latency(lat);
+                                }
+                                cfg.validate().expect("sweep produced invalid config");
+                                let scale = match self.scale_for {
+                                    Some(f) => f(app),
+                                    None => scale,
+                                };
+                                points.push(SweepPoint::new(cfg, app, scale));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Sweep { points }
+    }
+}
+
+/// A resolved sweep: the ordered point list, ready to run.
+#[derive(Clone)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Wraps an explicit point list (for callers whose grid is not a
+    /// cartesian product, e.g. `runner::compare` over arbitrary configs).
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        Self { points }
+    }
+
+    /// The points, in grid order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Runs every point across `jobs` worker threads and collects the
+    /// reports in grid order. `jobs` is clamped to `1..=len`.
+    pub fn run(&self, jobs: usize) -> SweepResult {
+        self.run_observed(jobs, &NoopObserver)
+    }
+
+    /// [`Sweep::run`] with a progress observer (the CLI's live counter).
+    pub fn run_observed(&self, jobs: usize, obs: &(impl SweepObserver + ?Sized)) -> SweepResult {
+        let total = self.points.len();
+        let t0 = Instant::now();
+        let runs = par_map(self.points.clone(), jobs, |i, p: SweepPoint| {
+            obs.on_start(i, total, &p.label);
+            let rt0 = Instant::now();
+            let report = p.run();
+            let wall = rt0.elapsed();
+            obs.on_finish(i, total, &p.label, wall, &report);
+            SweepRun {
+                label: p.label,
+                arch: report.arch,
+                app: p.app,
+                nodes: p.cfg.nodes,
+                scale: p.scale,
+                wall,
+                report,
+            }
+        });
+        SweepResult {
+            runs,
+            wall: t0.elapsed(),
+            jobs: jobs.clamp(1, total.max(1)),
+        }
+    }
+
+    /// Single-threaded reference execution: identical semantics, no
+    /// worker pool at all. The property tests assert `run_serial()` and
+    /// `run(j)` produce bit-identical reports.
+    pub fn run_serial(&self) -> SweepResult {
+        let t0 = Instant::now();
+        let runs = self
+            .points
+            .iter()
+            .map(|p| {
+                let rt0 = Instant::now();
+                let report = p.run();
+                SweepRun {
+                    label: p.label.clone(),
+                    arch: report.arch,
+                    app: p.app,
+                    nodes: p.cfg.nodes,
+                    scale: p.scale,
+                    wall: rt0.elapsed(),
+                    report,
+                }
+            })
+            .collect();
+        SweepResult {
+            runs,
+            wall: t0.elapsed(),
+            jobs: 1,
+        }
+    }
+}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The point's label.
+    pub label: String,
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Application.
+    pub app: AppId,
+    /// Node count.
+    pub nodes: usize,
+    /// Input scale.
+    pub scale: f64,
+    /// The simulation's report.
+    pub report: RunReport,
+    /// Host wall-clock time this cell took.
+    pub wall: Duration,
+}
+
+/// All cells of a completed sweep, in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-cell outcomes, ordered as [`Sweep::points`].
+    pub runs: Vec<SweepRun>,
+    /// Total host wall-clock time for the sweep.
+    pub wall: Duration,
+    /// Worker count actually used.
+    pub jobs: usize,
+}
+
+impl SweepResult {
+    /// The reports alone, in grid order.
+    pub fn reports(&self) -> Vec<&RunReport> {
+        self.runs.iter().map(|r| &r.report).collect()
+    }
+
+    /// CSV emission: one header line plus one row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,arch,app,nodes,scale,cycles,events,reads,l1_hit_rate,l2_hit_rate,\
+             shared_hit_rate,read_stall_frac,sync_frac,avg_shared_read_latency,wall_ms\n",
+        );
+        for r in &self.runs {
+            let rep = &r.report;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3}\n",
+                r.label,
+                r.arch,
+                r.app.name(),
+                r.nodes,
+                r.scale,
+                rep.cycles,
+                rep.events,
+                rep.total_reads(),
+                rep.l1_hit_rate(),
+                rep.l2_hit_rate(),
+                rep.shared_cache_hit_rate(),
+                rep.read_latency_fraction(),
+                rep.sync_fraction(),
+                rep.avg_shared_read_latency(),
+                r.wall.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+
+    /// JSON emission (hand-rolled — the workspace is dependency-free):
+    /// the `BENCH_*.json` trajectory shape, one object per cell.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let rep = &r.report;
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"arch\": \"{}\", \"app\": \"{}\", \
+                 \"nodes\": {}, \"scale\": {}, \"cycles\": {}, \"events\": {}, \
+                 \"reads\": {}, \"l1_hit_rate\": {:.6}, \"l2_hit_rate\": {:.6}, \
+                 \"shared_hit_rate\": {:.6}, \"read_stall_frac\": {:.6}, \
+                 \"sync_frac\": {:.6}, \"avg_shared_read_latency\": {:.3}, \
+                 \"wall_ms\": {:.3}}}{comma}\n",
+                r.label,
+                r.arch,
+                r.app.name(),
+                r.nodes,
+                r.scale,
+                rep.cycles,
+                rep.events,
+                rep.total_reads(),
+                rep.l1_hit_rate(),
+                rep.l2_hit_rate(),
+                rep.shared_cache_hit_rate(),
+                rep.read_latency_fraction(),
+                rep.sync_fraction(),
+                rep.avg_shared_read_latency(),
+                r.wall.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"jobs\": {},\n  \"wall_ms\": {:.3}\n}}\n",
+            self.jobs,
+            self.wall.as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+/// Observer hooks on the worker pool. Implementations must be `Sync`:
+/// callbacks fire on worker threads.
+pub trait SweepObserver: Sync {
+    /// A worker picked up cell `idx` of `total`.
+    fn on_start(&self, _idx: usize, _total: usize, _label: &str) {}
+    /// Cell `idx` finished in `wall`.
+    fn on_finish(
+        &self,
+        _idx: usize,
+        _total: usize,
+        _label: &str,
+        _wall: Duration,
+        _report: &RunReport,
+    ) {
+    }
+}
+
+/// The default observer: no output.
+pub struct NoopObserver;
+impl SweepObserver for NoopObserver {}
+
+/// Counts started/finished cells; cheap enough to poll from a UI thread.
+#[derive(Default)]
+pub struct ProgressCounters {
+    started: AtomicUsize,
+    finished: AtomicUsize,
+}
+
+impl ProgressCounters {
+    /// Cells picked up so far.
+    pub fn started(&self) -> usize {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Cells completed so far.
+    pub fn finished(&self) -> usize {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+impl SweepObserver for ProgressCounters {
+    fn on_start(&self, _idx: usize, _total: usize, _label: &str) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_finish(&self, _i: usize, _t: usize, _l: &str, _w: Duration, _r: &RunReport) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Prints one line per completed cell to stderr (the CLI's `--progress`).
+pub struct StderrProgress;
+impl SweepObserver for StderrProgress {
+    fn on_finish(&self, idx: usize, total: usize, label: &str, wall: Duration, report: &RunReport) {
+        eprintln!(
+            "[{:>3}/{total}] {label}: {} cycles in {:.1} ms",
+            idx + 1,
+            report.cycles,
+            wall.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Ordered parallel map over owned items: applies `f(index, item)` on a
+/// pool of `jobs` scoped threads and returns outputs in **input order**,
+/// regardless of completion order. `jobs <= 1` (or a single item) runs
+/// inline on the caller's thread with no pool at all.
+///
+/// This is the workspace's only threading primitive; `crossbeam::scope`'s
+/// role is covered by [`std::thread::scope`] (stable since Rust 1.63).
+///
+/// # Panics
+/// Propagates the first worker panic after the scope joins.
+pub fn par_map<I, O, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    // Input slots are taken exactly once (guarded by the atomic cursor);
+    // output slots are written exactly once, then drained in order.
+    let inputs: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("input taken once");
+                let out = f(i, item);
+                *outputs[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_returns_input_order() {
+        // Make later items finish first: earlier items spin longest.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(items, 8, |i, x| {
+            let mut acc = 0u64;
+            for k in 0..(32 - i as u64) * 10_000 {
+                acc = acc.wrapping_add(k);
+            }
+            (x * 2, acc)
+        });
+        for (i, (v, _)) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(empty, 4, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(vec![7u32], 4, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn spec_grid_order_is_nested() {
+        let sweep = SweepSpec::new()
+            .archs([Arch::NetCache, Arch::LambdaNet])
+            .apps([AppId::Sor, AppId::Fft])
+            .nodes([2, 4])
+            .scale(0.01)
+            .build();
+        let labels: Vec<&str> = sweep.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "netcache/sor/p2/s0.01",
+                "netcache/sor/p4/s0.01",
+                "netcache/fft/p2/s0.01",
+                "netcache/fft/p4/s0.01",
+                "lambdanet/sor/p2/s0.01",
+                "lambdanet/sor/p4/s0.01",
+                "lambdanet/fft/p2/s0.01",
+                "lambdanet/fft/p4/s0.01",
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_override_axis_applies() {
+        let sweep = SweepSpec::new()
+            .apps([AppId::Water])
+            .nodes([4])
+            .scale(0.01)
+            .ring_kb([0, 16, 32])
+            .build();
+        let chans: Vec<usize> = sweep.points().iter().map(|p| p.cfg.ring.channels).collect();
+        assert_eq!(chans, [0, 64, 128]);
+    }
+
+    #[test]
+    fn ring_axis_does_not_duplicate_ringless_archs() {
+        let sweep = SweepSpec::new()
+            .archs(Arch::ALL)
+            .apps([AppId::Water])
+            .nodes([4])
+            .scale(0.01)
+            .ring_kb([0, 16, 32])
+            .build();
+        // 3 NetCache cells + 1 each for the three ringless baselines.
+        assert_eq!(sweep.points().len(), 3 + 3);
+        let labels: std::collections::HashSet<&str> =
+            sweep.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels.len(), sweep.points().len(), "duplicate cells");
+    }
+
+    #[test]
+    fn parallel_equals_serial_small_grid() {
+        let sweep = SweepSpec::new()
+            .archs([Arch::NetCache, Arch::DmonI])
+            .apps([AppId::Fft])
+            .nodes([2])
+            .scale(0.01)
+            .build();
+        let par = sweep.run(4);
+        let ser = sweep.run_serial();
+        assert_eq!(par.runs.len(), ser.runs.len());
+        for (a, b) in par.runs.iter().zip(ser.runs.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn progress_counters_count_everything() {
+        let sweep = SweepSpec::new()
+            .apps([AppId::Fft])
+            .nodes([1, 2])
+            .scale(0.01)
+            .build();
+        let prog = ProgressCounters::default();
+        let res = sweep.run_observed(2, &prog);
+        assert_eq!(prog.started(), 2);
+        assert_eq!(prog.finished(), 2);
+        assert_eq!(res.runs.len(), 2);
+    }
+
+    #[test]
+    fn emission_shapes() {
+        let sweep = SweepSpec::new()
+            .apps([AppId::Fft])
+            .nodes([2])
+            .scale(0.01)
+            .build();
+        let res = sweep.run_serial();
+        let csv = res.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("label,arch,app,"));
+        let json = res.to_json();
+        assert!(json.contains("\"app\": \"fft\""));
+        assert!(json.contains("\"jobs\": 1"));
+    }
+}

@@ -91,7 +91,10 @@ impl Cache {
         assert!(cfg.size_bytes.is_multiple_of(cfg.block_bytes));
         let lines = cfg.lines();
         let ways = if cfg.assoc == 0 { lines } else { cfg.assoc };
-        assert!(lines.is_multiple_of(ways), "lines must divide into whole sets");
+        assert!(
+            lines.is_multiple_of(ways),
+            "lines must divide into whole sets"
+        );
         Self {
             cfg,
             sets: lines / ways,

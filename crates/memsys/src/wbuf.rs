@@ -75,7 +75,13 @@ impl CoalescingWriteBuffer {
     /// word index `word`). Coalesces with *any* existing entry for the same
     /// block, per the paper ("consecutive writes to the same cache block
     /// are coalesced").
-    pub fn push(&mut self, block: BlockAddr, addr: Addr, word: WordIdx, shared: bool) -> PushOutcome {
+    pub fn push(
+        &mut self,
+        block: BlockAddr,
+        addr: Addr,
+        word: WordIdx,
+        shared: bool,
+    ) -> PushOutcome {
         debug_assert!(word < 32);
         self.pushes += 1;
         for e in self.entries.iter_mut() {

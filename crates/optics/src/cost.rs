@@ -65,7 +65,10 @@ impl HardwareCost {
 
     /// NetCache (§3.2–3.3) with `c` ring cache channels.
     pub fn netcache(p: usize, c: usize) -> Self {
-        assert!(c.is_multiple_of(p), "cache channels must divide evenly over homes");
+        assert!(
+            c.is_multiple_of(p),
+            "cache channels must divide evenly over homes"
+        );
         let per_node_ring_sets = c / p;
         Self {
             // star: request + home + coherence transmitters

@@ -146,8 +146,14 @@ mod tests {
     #[test]
     fn base_capacity_is_32kb() {
         assert_eq!(base().capacity_bytes(64), 32 * 1024);
-        assert_eq!(RingGeometry::with_channels(16, 64).capacity_bytes(64), 16 * 1024);
-        assert_eq!(RingGeometry::with_channels(16, 256).capacity_bytes(64), 64 * 1024);
+        assert_eq!(
+            RingGeometry::with_channels(16, 64).capacity_bytes(64),
+            16 * 1024
+        );
+        assert_eq!(
+            RingGeometry::with_channels(16, 256).capacity_bytes(64),
+            64 * 1024
+        );
     }
 
     #[test]
@@ -186,7 +192,10 @@ mod tests {
     #[test]
     fn frame_ready_is_periodic() {
         let g = base();
-        let slot = RingSlot { channel: 5, frame: 2 };
+        let slot = RingSlot {
+            channel: 5,
+            frame: 2,
+        };
         let t0 = g.frame_ready_at(slot, 0, 0);
         let t1 = g.frame_ready_at(slot, 0, t0 + 1 - g.read_overhead);
         assert_eq!(t1 - t0, g.roundtrip);
@@ -195,7 +204,10 @@ mod tests {
     #[test]
     fn average_wait_is_half_roundtrip() {
         let g = base();
-        let slot = RingSlot { channel: 7, frame: 1 };
+        let slot = RingSlot {
+            channel: 7,
+            frame: 1,
+        };
         let mut total = 0u64;
         let n = 40 * 100;
         for now in 0..n {
@@ -211,7 +223,10 @@ mod tests {
         // Average ring wait (19.5) + read_overhead (5) ≈ the paper's
         // "Avg. shared cache delay 25" (Table 1).
         let g = base();
-        let slot = RingSlot { channel: 0, frame: 0 };
+        let slot = RingSlot {
+            channel: 0,
+            frame: 0,
+        };
         let mut total = 0u64;
         let n = 40 * 50;
         for now in 0..n {
@@ -238,7 +253,10 @@ mod tests {
     #[test]
     fn node_offsets_shift_arrival_times() {
         let g = base();
-        let slot = RingSlot { channel: 0, frame: 0 };
+        let slot = RingSlot {
+            channel: 0,
+            frame: 0,
+        };
         let t0 = g.frame_ready_at(slot, 0, 0);
         let t1 = g.frame_ready_at(slot, 4, 0);
         // Node 4 sits a quarter-ring away: 10-cycle shift.

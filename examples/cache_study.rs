@@ -37,7 +37,10 @@ fn main() {
     for pol in Replacement::ALL {
         let cfg = SysConfig::base(Arch::NetCache).with_replacement(pol);
         let (cycles, hit) = run(&cfg, app, scale);
-        println!("  {:<7}: {cycles:>10} cycles, hit rate {hit:>5.1}%", pol.name());
+        println!(
+            "  {:<7}: {cycles:>10} cycles, hit rate {hit:>5.1}%",
+            pol.name()
+        );
     }
 
     println!("\nchannel associativity at 32 KB (paper Fig. 11):");

@@ -5,8 +5,8 @@
 //! cargo run --release --example compare_architectures [app] [scale]
 //! ```
 
-use netcache::apps::{AppId, Workload};
-use netcache::{run_app, Arch, SysConfig};
+use netcache::apps::AppId;
+use netcache::{compare, Arch, SysConfig};
 
 fn main() {
     let app_name = std::env::args().nth(1).unwrap_or_else(|| "mg".into());
@@ -23,13 +23,14 @@ fn main() {
         "{:<12} {:>12} {:>10} {:>12} {:>10} {:>10}",
         "system", "cycles", "vs best", "avg rd lat", "rd %", "sync %"
     );
-    let mut base = 0u64;
-    for arch in Arch::ALL {
-        let cfg = SysConfig::base(arch);
-        let r = run_app(&cfg, &Workload::new(app, cfg.nodes).scale(scale));
-        if base == 0 {
-            base = r.cycles;
-        }
+    // The four systems are independent simulations; `compare` fans them
+    // out across host cores through the sweep engine and returns the
+    // reports in `Arch::ALL` order.
+    let cfgs: Vec<SysConfig> = Arch::ALL.iter().map(|&a| SysConfig::base(a)).collect();
+    let nodes = cfgs[0].nodes;
+    let reports = compare(cfgs.iter(), app, nodes, scale);
+    let base = reports[0].cycles;
+    for r in &reports {
         println!(
             "{:<12} {:>12} {:>9.2}x {:>12.0} {:>9.1}% {:>9.1}%",
             r.arch,

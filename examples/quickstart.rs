@@ -37,10 +37,20 @@ fn main() {
 
     println!("{}", report.summary());
     println!();
-    println!("run time            : {} pcycles ({:.2} ms at 200 MHz)", report.cycles, report.cycles as f64 * 5e-6);
+    println!(
+        "run time            : {} pcycles ({:.2} ms at 200 MHz)",
+        report.cycles,
+        report.cycles as f64 * 5e-6
+    );
     println!("reads               : {}", report.total_reads());
-    println!("read latency share  : {:.1}%", 100.0 * report.read_latency_fraction());
-    println!("sync share          : {:.1}%", 100.0 * report.sync_fraction());
+    println!(
+        "read latency share  : {:.1}%",
+        100.0 * report.read_latency_fraction()
+    );
+    println!(
+        "sync share          : {:.1}%",
+        100.0 * report.sync_fraction()
+    );
     if let Some(ring) = report.ring {
         println!(
             "ring shared cache   : {:.1}% hit rate ({} hits, {} coalesced, {} misses)",

@@ -3,44 +3,82 @@
 //! ```text
 //! netcache run <app> [--arch A] [--scale S] [--procs P] [--ring-kb K]
 //! netcache compare <app> [--scale S] [--procs P]
-//! netcache sweep <app> [--scale S]            # ring sizes 0/16/32/64 KB
+//! netcache sweep [apps...] [--archs A,B|all] [--jobs N] [--scale S]
+//!                [--procs P] [--ring-kbs K,K,...] [--json F] [--csv F]
+//!                [--serial] [--quiet]            # grid sweep engine
 //! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
 //! netcache profile <app> [--scale S] [--procs P]       # stream statistics
 //! ```
 //!
 //! Architectures: `netcache` (default), `lambdanet`, `dmon-u`, `dmon-i`.
+//!
+//! `sweep` runs the full (architecture × application) grid by default —
+//! the paper's Fig. 6 — fanning independent simulations across `--jobs`
+//! worker threads (default: every host core). Reports always come back
+//! in grid order and are bit-identical to a `--serial` run; see
+//! DESIGN.md on why determinism survives parallel execution.
 
 use std::io::Write as _;
 use std::process::exit;
 
 use netcache::apps::{trace, AppId, OpStream, Workload};
 use netcache::mem::AddressMap;
+use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepSpec};
 use netcache::{run_app, Arch, Machine, SysConfig};
 
 struct Args {
     positional: Vec<String>,
     arch: Arch,
+    archs: Option<Vec<Arch>>,
     scale: f64,
     procs: usize,
     ring_kb: Option<u64>,
+    ring_kbs: Option<Vec<u64>>,
+    jobs: Option<usize>,
+    json: Option<String>,
+    csv: Option<String>,
+    serial: bool,
+    quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netcache <run|compare|sweep|trace|replay|profile> ... \
-         [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]"
+         [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]\n\
+         sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
+         [--json FILE] [--csv FILE] [--serial] [--quiet]"
     );
     exit(2)
+}
+
+fn parse_arch(name: &str) -> Arch {
+    match name.to_lowercase().as_str() {
+        "netcache" => Arch::NetCache,
+        "lambdanet" => Arch::LambdaNet,
+        "dmon-u" | "dmonu" => Arch::DmonU,
+        "dmon-i" | "dmoni" => Arch::DmonI,
+        other => {
+            eprintln!("unknown architecture {other}");
+            usage()
+        }
+    }
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         positional: Vec::new(),
         arch: Arch::NetCache,
+        archs: None,
         scale: 0.1,
         procs: 16,
         ring_kb: None,
+        ring_kbs: None,
+        jobs: None,
+        json: None,
+        csv: None,
+        serial: false,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,17 +89,14 @@ fn parse_args() -> Args {
             })
         };
         match a.as_str() {
-            "--arch" => {
-                args.arch = match grab("--arch").to_lowercase().as_str() {
-                    "netcache" => Arch::NetCache,
-                    "lambdanet" => Arch::LambdaNet,
-                    "dmon-u" | "dmonu" => Arch::DmonU,
-                    "dmon-i" | "dmoni" => Arch::DmonI,
-                    other => {
-                        eprintln!("unknown architecture {other}");
-                        usage()
-                    }
-                }
+            "--arch" => args.arch = parse_arch(&grab("--arch")),
+            "--archs" => {
+                let v = grab("--archs");
+                args.archs = Some(if v == "all" {
+                    Arch::ALL.to_vec()
+                } else {
+                    v.split(',').map(parse_arch).collect()
+                });
             }
             "--scale" => {
                 args.scale = grab("--scale").parse().unwrap_or_else(|_| usage());
@@ -72,6 +107,21 @@ fn parse_args() -> Args {
             "--ring-kb" => {
                 args.ring_kb = Some(grab("--ring-kb").parse().unwrap_or_else(|_| usage()));
             }
+            "--ring-kbs" => {
+                args.ring_kbs = Some(
+                    grab("--ring-kbs")
+                        .split(',')
+                        .map(|k| k.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--jobs" => {
+                args.jobs = Some(grab("--jobs").parse().unwrap_or_else(|_| usage()));
+            }
+            "--json" => args.json = Some(grab("--json")),
+            "--csv" => args.csv = Some(grab("--csv")),
+            "--serial" => args.serial = true,
+            "--quiet" => args.quiet = true,
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
                 usage()
@@ -111,7 +161,12 @@ fn main() {
     };
     match cmd.as_str() {
         "run" => {
-            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let app = app_by_name(
+                args.positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage()),
+            );
             let cfg = config(&args);
             let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
             println!("{}", r.summary());
@@ -125,14 +180,20 @@ fn main() {
             );
         }
         "compare" => {
-            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            let mut base = 0u64;
-            for arch in Arch::ALL {
-                let cfg = SysConfig::base(arch).with_nodes(args.procs);
-                let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
-                if base == 0 {
-                    base = r.cycles;
-                }
+            let app = app_by_name(
+                args.positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage()),
+            );
+            // All four systems run concurrently through the sweep engine.
+            let cfgs: Vec<SysConfig> = Arch::ALL
+                .iter()
+                .map(|&a| SysConfig::base(a).with_nodes(args.procs))
+                .collect();
+            let reports = netcache::compare(cfgs.iter(), app, args.procs, args.scale);
+            let base = reports[0].cycles;
+            for r in &reports {
                 println!(
                     "{:<10} {:>12} cycles  {:>6.2}x",
                     r.arch,
@@ -142,21 +203,75 @@ fn main() {
             }
         }
         "sweep" => {
-            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            for kb in [0u64, 16, 32, 64] {
-                let cfg = SysConfig::base(Arch::NetCache)
-                    .with_nodes(args.procs)
-                    .with_ring_kb(kb);
-                let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
+            // Grid axes: positional apps (default: all twelve), --archs
+            // (default: all four), --ring-kbs (default: each arch's base).
+            let apps: Vec<AppId> = if args.positional.len() > 1 {
+                args.positional[1..]
+                    .iter()
+                    .map(|n| app_by_name(n))
+                    .collect()
+            } else {
+                AppId::ALL.to_vec()
+            };
+            let mut spec = SweepSpec::new()
+                .archs(args.archs.clone().unwrap_or_else(|| Arch::ALL.to_vec()))
+                .apps(apps)
+                .nodes([args.procs])
+                .scale(args.scale);
+            if let Some(kbs) = &args.ring_kbs {
+                spec = spec.ring_kb(kbs.iter().copied());
+            }
+            let sweep = spec.build();
+            let jobs = args.jobs.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+            let result = if args.serial {
+                sweep.run_serial()
+            } else {
+                let obs: &dyn SweepObserver = if args.quiet {
+                    &NoopObserver
+                } else {
+                    &StderrProgress
+                };
+                sweep.run_observed(jobs, obs)
+            };
+            println!(
+                "{:<32} {:>14} {:>10} {:>10}",
+                "cell", "cycles", "sc-hit %", "wall ms"
+            );
+            for r in &result.runs {
                 println!(
-                    "{kb:>3} KB ring: {:>12} cycles, hit rate {:>5.1}%",
-                    r.cycles,
-                    100.0 * r.shared_cache_hit_rate()
+                    "{:<32} {:>14} {:>9.1}% {:>10.1}",
+                    r.label,
+                    r.report.cycles,
+                    100.0 * r.report.shared_cache_hit_rate(),
+                    r.wall.as_secs_f64() * 1e3
                 );
+            }
+            println!(
+                "\n{} runs on {} worker(s): {:.2} s wall",
+                result.runs.len(),
+                result.jobs,
+                result.wall.as_secs_f64()
+            );
+            if let Some(path) = &args.json {
+                std::fs::write(path, result.to_json()).expect("write --json file");
+                println!("wrote {path}");
+            }
+            if let Some(path) = &args.csv {
+                std::fs::write(path, result.to_csv()).expect("write --csv file");
+                println!("wrote {path}");
             }
         }
         "trace" => {
-            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let app = app_by_name(
+                args.positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage()),
+            );
             let dir = args.positional.get(2).cloned().unwrap_or_else(|| usage());
             std::fs::create_dir_all(&dir).expect("create trace dir");
             let map = AddressMap::new(args.procs, 64);
@@ -199,7 +314,12 @@ fn main() {
             println!("replayed {procs} traces: {}", r.summary());
         }
         "profile" => {
-            let app = app_by_name(args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let app = app_by_name(
+                args.positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage()),
+            );
             let map = AddressMap::new(args.procs, 64);
             let wl = Workload::new(app, args.procs).scale(args.scale);
             println!(

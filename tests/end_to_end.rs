@@ -38,7 +38,13 @@ fn netcache_never_loses_badly() {
     // Paper Fig. 6: NetCache is best or tied on every application. Allow
     // small-scale noise: it must never be more than 15% slower than the
     // best baseline.
-    for app in [AppId::Gauss, AppId::Mg, AppId::Sor, AppId::Water, AppId::Ocean] {
+    for app in [
+        AppId::Gauss,
+        AppId::Mg,
+        AppId::Sor,
+        AppId::Water,
+        AppId::Ocean,
+    ] {
         let nc = run(Arch::NetCache, app, 16, SCALE).cycles as f64;
         for arch in [Arch::LambdaNet, Arch::DmonU, Arch::DmonI] {
             let other = run(arch, app, 16, SCALE).cycles as f64;
@@ -57,11 +63,9 @@ fn netcache_never_loses_badly() {
 #[test]
 fn high_reuse_apps_beat_low_reuse_apps_on_hit_rate() {
     // Paper Fig. 7's grouping, on representatives of each class.
-    let gauss = run(Arch::NetCache, AppId::Gauss, 16, 0.05)
-        .shared_cache_hit_rate();
+    let gauss = run(Arch::NetCache, AppId::Gauss, 16, 0.05).shared_cache_hit_rate();
     let lu = run(Arch::NetCache, AppId::Lu, 16, 0.1).shared_cache_hit_rate();
-    let radix = run(Arch::NetCache, AppId::Radix, 16, 0.05)
-        .shared_cache_hit_rate();
+    let radix = run(Arch::NetCache, AppId::Radix, 16, 0.05).shared_cache_hit_rate();
     let fft = run(Arch::NetCache, AppId::Fft, 16, 0.5).shared_cache_hit_rate();
     assert!(gauss > 0.4, "gauss {gauss}");
     assert!(lu > 0.4, "lu {lu}");
@@ -95,9 +99,7 @@ fn invalidate_protocol_raises_miss_rates() {
     // than DMON-I (coherence misses).
     let u = run(Arch::DmonU, AppId::Sor, 8, SCALE);
     let i = run(Arch::DmonI, AppId::Sor, 8, SCALE);
-    let misses = |r: &netcache::RunReport| {
-        r.nodes.iter().map(|n| n.shared_reads).sum::<u64>()
-    };
+    let misses = |r: &netcache::RunReport| r.nodes.iter().map(|n| n.shared_reads).sum::<u64>();
     assert!(
         misses(&i) > misses(&u),
         "DMON-I {} vs DMON-U {}",

@@ -1,69 +1,105 @@
-//! Property-based tests (proptest) on the core data structures and on
-//! whole-machine invariants under randomized workloads.
-
-use proptest::prelude::*;
+//! Property-based tests on the core data structures and on whole-machine
+//! invariants under randomized workloads.
+//!
+//! The build environment has no access to a crates.io registry, so these
+//! use an in-tree harness instead of `proptest`: [`check`] runs each
+//! property over many independently seeded cases of the simulator's own
+//! deterministic RNG and reports the failing seed, which reproduces the
+//! case exactly (re-run with that seed to shrink by hand). The properties
+//! themselves are unchanged from the original proptest suite.
 
 use netcache::apps::{Op, OpStream};
 use netcache::mem::addr::SHARED_BASE;
 use netcache::mem::{Cache, CacheCfg, CoalescingWriteBuffer, ReadOutcome};
+use netcache::sim::Xoshiro256StarStar;
 use netcache::sim::{EventQueue, FifoServer, SlottedServer};
 use netcache::{Arch, Machine, RingCache, RingConfig, RingLookup, SysConfig};
 use std::collections::{HashSet, VecDeque};
 
+/// Runs `f` over `cases` independently seeded RNGs; a panic inside one
+/// case is re-raised tagged with the seed that reproduces it.
+fn check(cases: u64, f: impl Fn(&mut Xoshiro256StarStar) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
+        let seed = 0xC0FF_EE00 ^ (case * 0x9E37_79B9);
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = Xoshiro256StarStar::seeded(seed);
+            f(&mut rng);
+        });
+        if result.is_err() {
+            panic!("property failed on case {case} (rng seed {seed:#x}); see panic above");
+        }
+    }
+}
+
+/// Random vector with `len` in `[min_len, max_len)`, elements from `gen`.
+fn rand_vec<T>(
+    rng: &mut Xoshiro256StarStar,
+    min_len: u64,
+    max_len: u64,
+    mut gen: impl FnMut(&mut Xoshiro256StarStar) -> T,
+) -> Vec<T> {
+    let len = rng.range(min_len, max_len);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
 // ---------------------------------------------------------------------
 // Event queue: behaves like a stable sort by (time, insertion order).
 
-proptest! {
-    #[test]
-    fn event_queue_is_a_stable_time_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+#[test]
+fn event_queue_is_a_stable_time_sort() {
+    check(64, |rng| {
+        let times = rand_vec(rng, 1, 200, |r| r.below(1000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
         }
-        let mut reference: Vec<(u64, usize)> =
-            times.iter().copied().zip(0..).collect();
+        let mut reference: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
         reference.sort_by_key(|&(t, i)| (t, i));
         let mut popped = Vec::new();
         while let Some((t, i)) = q.pop() {
             popped.push((t, i));
         }
-        prop_assert_eq!(popped, reference);
-    }
+        assert_eq!(popped, reference);
+    });
+}
 
-    // -----------------------------------------------------------------
-    // FIFO server: starts are monotone, never before arrival, and the
-    // server is never double-booked.
-    #[test]
-    fn fifo_server_never_double_books(
-        reqs in proptest::collection::vec((0u64..100, 1u64..50), 1..100)
-    ) {
-        let mut s = FifoServer::new();
-        let mut arrivals: Vec<(u64, u64)> = reqs;
+// ---------------------------------------------------------------------
+// FIFO server: starts are monotone, never before arrival, and the
+// server is never double-booked.
+
+#[test]
+fn fifo_server_never_double_books() {
+    check(64, |rng| {
+        let mut arrivals = rand_vec(rng, 1, 100, |r| (r.below(100), r.range(1, 50)));
         arrivals.sort_by_key(|&(a, _)| a);
+        let mut s = FifoServer::new();
         let mut prev_end = 0u64;
         for &(a, d) in &arrivals {
             let start = s.acquire(a, d);
-            prop_assert!(start >= a);
-            prop_assert!(start >= prev_end, "overlap: {start} < {prev_end}");
+            assert!(start >= a);
+            assert!(start >= prev_end, "overlap: {start} < {prev_end}");
             prev_end = start + d;
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // TDMA server: grants land on the client's own slot boundaries, never
-    // overlap a long message, and never exceed one grant per client frame.
-    #[test]
-    fn slotted_server_respects_tdma(
-        reqs in proptest::collection::vec((0usize..8, 0u64..200, 1u64..3), 1..100)
-    ) {
-        let mut s = SlottedServer::new(8, 1);
-        let mut reqs = reqs;
+// ---------------------------------------------------------------------
+// TDMA server: grants land on the client's own slot boundaries, never
+// overlap a long message, and never exceed one grant per client frame.
+
+#[test]
+fn slotted_server_respects_tdma() {
+    check(64, |rng| {
+        let mut reqs = rand_vec(rng, 1, 100, |r| {
+            (r.below(8) as usize, r.below(200), r.range(1, 3))
+        });
         reqs.sort_by_key(|&(_, a, _)| a);
+        let mut s = SlottedServer::new(8, 1);
         let mut grants: Vec<(usize, u64, u64)> = Vec::new();
         for &(c, a, d) in &reqs {
             let start = s.acquire(c, a, d);
-            prop_assert!(start >= a);
-            prop_assert_eq!(start % 8, c as u64, "slot phase");
+            assert!(start >= a);
+            assert_eq!(start % 8, c as u64, "slot phase");
             grants.push((c, start, d));
         }
         // One grant per client per frame.
@@ -73,41 +109,54 @@ proptest! {
         }
         for starts in per_client {
             let uniq: HashSet<u64> = starts.iter().copied().collect();
-            prop_assert_eq!(uniq.len(), starts.len(), "client reused a slot");
+            assert_eq!(uniq.len(), starts.len(), "client reused a slot");
         }
         // Long messages block everything they overlap.
         for &(_, s1, d1) in &grants {
-            if d1 <= 1 { continue; }
+            if d1 <= 1 {
+                continue;
+            }
             for &(_, s2, _) in &grants {
-                prop_assert!(
+                assert!(
                     s2 <= s1 || s2 >= s1 + d1,
-                    "grant at {s2} inside long message [{s1},{})", s1 + d1
+                    "grant at {s2} inside long message [{s1},{})",
+                    s1 + d1
                 );
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Cache vs. a reference model (set of resident blocks with per-set
-    // capacity): presence always agrees.
-    #[test]
-    fn cache_matches_reference_model(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..400)
-    ) {
+// ---------------------------------------------------------------------
+// Cache vs. a reference model (set of resident blocks with per-set
+// capacity): presence always agrees.
+
+#[test]
+fn cache_matches_reference_model() {
+    check(64, |rng| {
+        let ops = rand_vec(rng, 1, 400, |r| (r.below(64), r.chance(0.5)));
         // 4 sets x 2 ways, 64 B blocks.
-        let mut c = Cache::new(CacheCfg { size_bytes: 512, block_bytes: 64, assoc: 2 });
+        let mut c = Cache::new(CacheCfg {
+            size_bytes: 512,
+            block_bytes: 64,
+            assoc: 2,
+        });
         // reference: per set, LRU list of blocks (max 2).
         let mut sets: Vec<VecDeque<u64>> = vec![VecDeque::new(); 4];
         for &(block, is_fill) in &ops {
             let a = block * 64;
             let set = (block % 4) as usize;
             let resident = sets[set].contains(&block);
-            prop_assert_eq!(c.contains(a), resident, "block {}", block);
+            assert_eq!(c.contains(a), resident, "block {}", block);
             if is_fill {
                 if c.read(a) == ReadOutcome::Miss {
                     c.fill(a, false);
-                    if resident { unreachable!(); }
-                    if sets[set].len() == 2 { sets[set].pop_front(); }
+                    if resident {
+                        unreachable!();
+                    }
+                    if sets[set].len() == 2 {
+                        sets[set].pop_front();
+                    }
                     sets[set].push_back(block);
                 } else {
                     // refresh LRU position
@@ -120,15 +169,17 @@ proptest! {
                 sets[set].remove(pos);
             }
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Write buffer: pop order is FIFO over first-write order; coalescing
-    // never loses a word.
-    #[test]
-    fn write_buffer_preserves_words(
-        writes in proptest::collection::vec((0u64..6, 0u32..16), 1..64)
-    ) {
+// ---------------------------------------------------------------------
+// Write buffer: pop order is FIFO over first-write order; coalescing
+// never loses a word.
+
+#[test]
+fn write_buffer_preserves_words() {
+    check(64, |rng| {
+        let writes = rand_vec(rng, 1, 64, |r| (r.below(6), r.below(16) as u32));
         let mut wb = CoalescingWriteBuffer::new(8);
         let mut reference: Vec<(u64, u32)> = Vec::new(); // (block, mask)
         for &(block, word) in &writes {
@@ -137,8 +188,8 @@ proptest! {
                     // Drain one entry and retry; mirror in the reference.
                     let e = wb.pop().unwrap();
                     let (rb, rm) = reference.remove(0);
-                    prop_assert_eq!(e.block, rb);
-                    prop_assert_eq!(e.mask, rm);
+                    assert_eq!(e.block, rb);
+                    assert_eq!(e.mask, rm);
                     wb.push(block, block * 64 + word as u64 * 4, word, true);
                     push_ref(&mut reference, block, word);
                 }
@@ -147,41 +198,11 @@ proptest! {
         }
         while let Some(e) = wb.pop() {
             let (rb, rm) = reference.remove(0);
-            prop_assert_eq!(e.block, rb);
-            prop_assert_eq!(e.mask, rm);
+            assert_eq!(e.block, rb);
+            assert_eq!(e.mask, rm);
         }
-        prop_assert!(reference.is_empty());
-    }
-
-    // -----------------------------------------------------------------
-    // Ring cache: occupancy bounded by capacity; a hit is always preceded
-    // by an insert of that block; lookups after insert+roundtrip hit.
-    #[test]
-    fn ring_cache_capacity_and_presence(
-        blocks in proptest::collection::vec(0u64..512, 1..300)
-    ) {
-        let cfg = RingConfig { channels: 16, ..RingConfig::base() };
-        let mut ring = RingCache::new(cfg, 16);
-        let mut t = 0u64;
-        for &b in &blocks {
-            t += 17;
-            match ring.lookup(b, (b % 16) as usize, t) {
-                RingLookup::Miss => {
-                    let valid = ring.insert(b, (b % 16) as usize, t);
-                    prop_assert!(valid >= t);
-                    prop_assert!(valid <= t + cfg.roundtrip);
-                    prop_assert!(ring.contains(b));
-                }
-                RingLookup::Hit { ready } | RingLookup::InFlight { ready } => {
-                    prop_assert!(ring.contains(b));
-                    prop_assert!(ready >= t);
-                    // One roundtrip + overhead bounds any wait.
-                    prop_assert!(ready <= t + 2 * cfg.roundtrip + 45);
-                }
-            }
-            prop_assert!(ring.occupancy() <= ring.capacity());
-        }
-    }
+        assert!(reference.is_empty());
+    });
 }
 
 fn push_ref(reference: &mut Vec<(u64, u32)>, block: u64, word: u32) {
@@ -193,60 +214,91 @@ fn push_ref(reference: &mut Vec<(u64, u32)>, block: u64, word: u32) {
 }
 
 // ---------------------------------------------------------------------
-// Whole-machine properties under randomized (but well-formed) workloads.
+// Ring cache: occupancy bounded by capacity; a hit is always preceded
+// by an insert of that block; lookups after insert+roundtrip hit.
 
-fn arb_workload(procs: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
-    // Phases of random reads/writes/compute separated by barriers; every
-    // processor gets the same barrier sequence.
-    proptest::collection::vec(
-        proptest::collection::vec((0u64..2048, 0u8..10), 5..60),
-        1..5,
-    )
-    .prop_map(move |phases| {
-        (0..procs)
-            .map(|p| {
-                let mut ops = Vec::new();
-                for (bar, phase) in phases.iter().enumerate() {
-                    for &(loc, kind) in phase {
-                        let a = SHARED_BASE + (loc.wrapping_add(p as u64 * 13) % 2048) * 4;
-                        match kind {
-                            0..=5 => ops.push(Op::Read(a)),
-                            6..=8 => ops.push(Op::Write(a)),
-                            _ => ops.push(Op::Compute(1 + (loc % 20) as u32)),
-                        }
-                    }
-                    ops.push(Op::Barrier(bar as u32));
+#[test]
+fn ring_cache_capacity_and_presence() {
+    check(64, |rng| {
+        let blocks = rand_vec(rng, 1, 300, |r| r.below(512));
+        let cfg = RingConfig {
+            channels: 16,
+            ..RingConfig::base()
+        };
+        let mut ring = RingCache::new(cfg, 16);
+        let mut t = 0u64;
+        for &b in &blocks {
+            t += 17;
+            match ring.lookup(b, (b % 16) as usize, t) {
+                RingLookup::Miss => {
+                    let valid = ring.insert(b, (b % 16) as usize, t);
+                    assert!(valid >= t);
+                    assert!(valid <= t + cfg.roundtrip);
+                    assert!(ring.contains(b));
                 }
-                ops
-            })
-            .collect()
-    })
+                RingLookup::Hit { ready } | RingLookup::InFlight { ready } => {
+                    assert!(ring.contains(b));
+                    assert!(ready >= t);
+                    // One roundtrip + overhead bounds any wait.
+                    assert!(ready <= t + 2 * cfg.roundtrip + 45);
+                }
+            }
+            assert!(ring.occupancy() <= ring.capacity());
+        }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// ---------------------------------------------------------------------
+// Whole-machine properties under randomized (but well-formed) workloads.
 
-    #[test]
-    fn machine_terminates_and_accounts_time(
-        wl in arb_workload(4),
-        arch_i in 0usize..4
-    ) {
-        let arch = Arch::ALL[arch_i];
+/// Phases of random reads/writes/compute separated by barriers; every
+/// processor gets the same barrier sequence.
+fn arb_workload(rng: &mut Xoshiro256StarStar, procs: usize) -> Vec<Vec<Op>> {
+    let phases = rand_vec(rng, 1, 5, |r| {
+        rand_vec(r, 5, 60, |rr| (rr.below(2048), rr.below(10) as u8))
+    });
+    (0..procs)
+        .map(|p| {
+            let mut ops = Vec::new();
+            for (bar, phase) in phases.iter().enumerate() {
+                for &(loc, kind) in phase {
+                    let a = SHARED_BASE + (loc.wrapping_add(p as u64 * 13) % 2048) * 4;
+                    match kind {
+                        0..=5 => ops.push(Op::Read(a)),
+                        6..=8 => ops.push(Op::Write(a)),
+                        _ => ops.push(Op::Compute(1 + (loc % 20) as u32)),
+                    }
+                }
+                ops.push(Op::Barrier(bar as u32));
+            }
+            ops
+        })
+        .collect()
+}
+
+#[test]
+fn machine_terminates_and_accounts_time() {
+    check(24, |rng| {
+        let wl = arb_workload(rng, 4);
+        let arch = Arch::ALL[rng.below(4) as usize];
         let cfg = SysConfig::base(arch).with_nodes(4);
         let streams: Vec<OpStream> = wl
             .into_iter()
             .map(|ops| Box::new(ops.into_iter()) as OpStream)
             .collect();
         let r = Machine::with_streams(&cfg, streams).run();
-        prop_assert!(r.cycles > 0);
+        assert!(r.cycles > 0);
         for n in &r.nodes {
             let accounted = n.busy + n.read_stall + n.wb_stall + n.sync_stall;
-            prop_assert!(accounted <= n.finish + 1);
+            assert!(accounted <= n.finish + 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn machine_is_deterministic_on_random_workloads(wl in arb_workload(4)) {
+#[test]
+fn machine_is_deterministic_on_random_workloads() {
+    check(24, |rng| {
+        let wl = arb_workload(rng, 4);
         let cfg = SysConfig::base(Arch::NetCache).with_nodes(4);
         let mk = |wl: &Vec<Vec<Op>>| {
             let streams: Vec<OpStream> = wl
@@ -257,8 +309,8 @@ proptest! {
         };
         let a = mk(&wl);
         let b = mk(&wl);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.total_read_stall(), b.total_read_stall());
-        prop_assert_eq!(a.events, b.events);
-    }
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_read_stall(), b.total_read_stall());
+        assert_eq!(a.events, b.events);
+    });
 }
