@@ -147,19 +147,25 @@ impl Chunk {
 
 /// Builds a lazy stream from a chunk generator: `next(phase)` is called
 /// with 0, 1, 2, ... and the stream ends when it returns `None`.
-pub fn chunked<F>(mut next: F) -> OpStream
+///
+/// The generator feeds the stream's buffer a whole phase at a time, so
+/// per-op iteration never touches the closure.
+pub fn chunked<F>(next: F) -> OpStream
 where
     F: FnMut(u64) -> Option<Chunk> + Send + 'static,
 {
-    let mut phase = 0u64;
-    Box::new(
-        std::iter::from_fn(move || {
-            let c = next(phase)?;
-            phase += 1;
+    struct Phases<F> {
+        next: F,
+        phase: u64,
+    }
+    impl<F: FnMut(u64) -> Option<Chunk> + Send> crate::ops::OpSource for Phases<F> {
+        fn next_chunk(&mut self) -> Option<Vec<Op>> {
+            let c = (self.next)(self.phase)?;
+            self.phase += 1;
             Some(c.into_ops())
-        })
-        .flatten(),
-    )
+        }
+    }
+    OpStream::from_source(Phases { next, phase: 0 })
 }
 
 /// Contiguous 1-D partition: the half-open range of `n` items owned by

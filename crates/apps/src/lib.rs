@@ -44,6 +44,6 @@ mod sor;
 mod water;
 mod wf;
 
-pub use ops::{BarrierId, LockId, Op, OpStream};
+pub use ops::{BarrierId, LockId, Op, OpSource, OpStream};
 pub use trace::TraceProfile;
 pub use workload::{AppId, ReuseClass, Workload};

@@ -30,8 +30,93 @@ pub enum Op {
     Barrier(BarrierId),
 }
 
+/// A chunk-at-a-time producer feeding an [`OpStream`].
+///
+/// The stream's hot path iterates a plain `Vec<Op>` buffer; the source is
+/// consulted only when the buffer drains — once per *phase*, not per op —
+/// so generator virtual dispatch stays off the simulator's per-operation
+/// path.
+pub trait OpSource: Send {
+    /// The next batch of operations, or `None` when the program ends.
+    /// Empty batches are allowed (a phase that emits nothing).
+    fn next_chunk(&mut self) -> Option<Vec<Op>>;
+}
+
 /// A lazily generated per-processor operation stream.
-pub type OpStream = Box<dyn Iterator<Item = Op> + Send>;
+///
+/// Iterates like any `Iterator<Item = Op>`, but is a concrete buffered
+/// type: `next()` is an array read that the simulator's execution loop
+/// inlines, with chunk refills amortized across thousands of operations.
+pub struct OpStream {
+    buf: Vec<Op>,
+    pos: usize,
+    source: Option<Box<dyn OpSource>>,
+}
+
+impl OpStream {
+    /// A stream over a fully materialized op vector (replays, tests).
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Self {
+            buf: ops,
+            pos: 0,
+            source: None,
+        }
+    }
+
+    /// A stream drawing chunks from `source` on demand.
+    pub fn from_source(source: impl OpSource + 'static) -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// Wraps an arbitrary op iterator, batching it into chunks so the
+    /// per-op cost stays an inlined buffer read. The extension point for
+    /// custom front-ends that aren't phase-structured.
+    pub fn lazy(it: impl Iterator<Item = Op> + Send + 'static) -> Self {
+        struct IterSource<I>(I);
+        impl<I: Iterator<Item = Op> + Send> OpSource for IterSource<I> {
+            fn next_chunk(&mut self) -> Option<Vec<Op>> {
+                let mut v = Vec::with_capacity(1024);
+                v.extend(self.0.by_ref().take(1024));
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v)
+                }
+            }
+        }
+        Self::from_source(IterSource(it))
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    #[inline]
+    fn next(&mut self) -> Option<Op> {
+        loop {
+            if let Some(&op) = self.buf.get(self.pos) {
+                self.pos += 1;
+                return Some(op);
+            }
+            match self.source.as_mut()?.next_chunk() {
+                Some(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                None => {
+                    self.source = None;
+                    self.buf.clear();
+                    self.pos = 0;
+                    return None;
+                }
+            }
+        }
+    }
+}
 
 impl Op {
     /// True for synchronization operations.
@@ -48,6 +133,48 @@ impl Op {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_from_ops_iterates_in_order() {
+        let ops = vec![Op::Compute(1), Op::Read(64), Op::Barrier(0)];
+        let got: Vec<Op> = OpStream::from_ops(ops.clone()).collect();
+        assert_eq!(got, ops);
+    }
+
+    #[test]
+    fn lazy_stream_batches_without_reordering() {
+        // More ops than one internal chunk, via a plain iterator.
+        let got: Vec<Op> = OpStream::lazy((0..5000u64).map(|i| Op::Read(i * 64))).collect();
+        assert_eq!(got.len(), 5000);
+        assert_eq!(got[0], Op::Read(0));
+        assert_eq!(got[4999], Op::Read(4999 * 64));
+    }
+
+    #[test]
+    fn empty_chunks_are_skipped() {
+        struct Gappy(u32);
+        impl OpSource for Gappy {
+            fn next_chunk(&mut self) -> Option<Vec<Op>> {
+                self.0 += 1;
+                match self.0 {
+                    1 | 3 => Some(Vec::new()), // phases that emit nothing
+                    2 => Some(vec![Op::Compute(7)]),
+                    4 => Some(vec![Op::Barrier(1)]),
+                    _ => None,
+                }
+            }
+        }
+        let got: Vec<Op> = OpStream::from_source(Gappy(0)).collect();
+        assert_eq!(got, vec![Op::Compute(7), Op::Barrier(1)]);
+    }
+
+    #[test]
+    fn exhausted_stream_stays_exhausted() {
+        let mut s = OpStream::from_ops(vec![Op::Compute(1)]);
+        assert_eq!(s.next(), Some(Op::Compute(1)));
+        assert_eq!(s.next(), None);
+        assert_eq!(s.next(), None);
+    }
 
     #[test]
     fn op_classification() {

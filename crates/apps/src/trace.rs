@@ -102,7 +102,7 @@ pub fn load(reader: impl Read) -> Result<Vec<Op>, String> {
 /// Wraps parsed ops as an [`OpStream`] for [`Machine::with_streams`]
 /// (`netcache-core`).
 pub fn into_stream(ops: Vec<Op>) -> OpStream {
-    Box::new(ops.into_iter())
+    OpStream::from_ops(ops)
 }
 
 /// Summary statistics of a stream — handy before committing to a long

@@ -48,6 +48,36 @@ fn bench_event_queue() {
         }
         black_box(acc);
     });
+    // Dense same-cycle bursts: the barrier-release pattern. Hundreds of
+    // events land on a handful of adjacent timestamps; the timing wheel
+    // turns each pop into a bitmap probe plus a VecDeque pop, where the
+    // old heap paid log(n) sift-downs on every one.
+    bench("event_queue_dense_bursts", 200, || {
+        let mut q = EventQueue::new();
+        for burst in 0..8u64 {
+            for i in 0..128u64 {
+                q.schedule(burst * 3, burst * 128 + i);
+            }
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
+    });
+    // Steady-state interleave: schedule-one/pop-one at a sliding time
+    // front, the event loop's actual rhythm (queue stays small but hot).
+    let mut q = EventQueue::new();
+    let mut now = 0u64;
+    for i in 0..64u64 {
+        q.schedule(i * 11, i);
+    }
+    bench("event_queue_interleaved", 200, || {
+        let (t, v) = q.pop().unwrap();
+        now = t;
+        q.schedule(now + 1 + (v % 700), v);
+        black_box(v);
+    });
 }
 
 fn bench_cache() {
@@ -91,6 +121,35 @@ fn bench_ring() {
             hit => {
                 black_box(hit);
             }
+        }
+    });
+    // Hot-set probing: a working set that fits the ring, so nearly every
+    // lookup is a hit — pure tag-index cost, no eviction churn. This is
+    // the path the open-addressed per-channel tags replaced a HashMap on.
+    let mut hot = RingCache::new(RingConfig::base(), 16);
+    let cap = hot.capacity() as u64;
+    let mut ht = 0u64;
+    for b in 0..cap / 2 {
+        hot.insert(b, (b % 16) as usize, b);
+    }
+    bench("ring_probe_hot_set", 200, || {
+        ht += 13;
+        let block = ht % (cap / 2);
+        black_box(hot.lookup(block, (ht % 16) as usize, cap + ht));
+    });
+    // Scan pressure: a footprint far beyond capacity, so every probe
+    // misses and inserts — victim choice plus the §3.4 race-window
+    // machinery (orphan adopt/compact) on every iteration.
+    let mut cold = RingCache::new(RingConfig::base(), 16);
+    let mut ct = 1u64;
+    bench("ring_probe_scan_evict", 200, || {
+        ct += 29;
+        let block = ct % (1 << 20);
+        if matches!(
+            cold.lookup(block, (ct % 16) as usize, ct),
+            netcache_core::RingLookup::Miss
+        ) {
+            cold.insert(block, (block % 16) as usize, ct);
         }
     });
 }

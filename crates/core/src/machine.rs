@@ -14,7 +14,8 @@
 //! * locks and barriers are simulated, not traced — arrival order and
 //!   contention emerge from the timing model.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 use desim::{EventQueue, Time};
 use memsys::{AddressMap, PushOutcome, ReadOutcome};
@@ -87,6 +88,24 @@ enum Event {
     WbKick(usize),
 }
 
+/// Reusable cross-run allocations. A sweep runs thousands of machines
+/// back to back; the event queue's timing wheel is the one allocation
+/// worth carrying over (slot buffers, occupancy bitmap, overflow heap).
+/// Hand one scratch per worker thread to [`Machine::with_scratch`] and
+/// recover it with [`Machine::run_reusing`].
+#[derive(Default)]
+pub struct EngineScratch {
+    /// A reset queue from a completed run, warm capacity intact.
+    queue: Option<EventQueue<Event>>,
+}
+
+impl EngineScratch {
+    /// An empty scratch: the first run allocates, later runs reuse.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A configured machine ready to run one workload.
 pub struct Machine {
     cfg: SysConfig,
@@ -95,8 +114,10 @@ pub struct Machine {
     procs: Vec<Proc>,
     nodes: Vec<Node>,
     proto: Box<dyn Protocol>,
-    locks: HashMap<u32, LockState>,
-    barriers: HashMap<u32, BarrierState>,
+    /// Lock state, indexed directly by lock id (apps use small dense ids).
+    locks: Vec<LockState>,
+    /// Barrier state, indexed directly by barrier id.
+    barriers: Vec<BarrierState>,
     stats: Vec<NodeStats>,
     /// Per processor: a WbKick event is already scheduled.
     kick_pending: Vec<bool>,
@@ -115,6 +136,19 @@ impl Machine {
         Self::with_streams(cfg, streams)
     }
 
+    /// Like [`Machine::new`], but reuses allocations parked in `scratch`
+    /// by a previous [`Machine::run_reusing`] call — the sweep engine's
+    /// per-worker fast path.
+    pub fn new_with_scratch(
+        cfg: &SysConfig,
+        workload: &Workload,
+        scratch: &mut EngineScratch,
+    ) -> Self {
+        let map = AddressMap::new(cfg.nodes, cfg.l2.block_bytes);
+        let streams = workload.streams(&map);
+        Self::with_scratch(cfg, streams, scratch)
+    }
+
     /// Builds a machine around caller-provided operation streams — the
     /// extension point for workloads beyond the built-in twelve. Streams
     /// must obey the front-end contract: identical barrier sequences on
@@ -128,17 +162,27 @@ impl Machine {
     /// let streams = (0..2)
     ///     .map(|p| {
     ///         let base = memsys::addr::SHARED_BASE + p * 64;
-    ///         Box::new(
+    ///         netcache_apps::OpStream::lazy(
     ///             (0..100u64)
     ///                 .flat_map(move |i| [Op::Compute(5), Op::Read(base + i * 64)])
     ///                 .chain([Op::Barrier(0)]),
-    ///         ) as netcache_apps::OpStream
+    ///         )
     ///     })
     ///     .collect();
     /// let report = Machine::with_streams(&cfg, streams).run();
     /// assert!(report.cycles > 0);
     /// ```
     pub fn with_streams(cfg: &SysConfig, streams: Vec<OpStream>) -> Self {
+        Self::with_scratch(cfg, streams, &mut EngineScratch::new())
+    }
+
+    /// Like [`Machine::with_streams`], but reuses allocations parked in
+    /// `scratch` by a previous [`Machine::run_reusing`] call.
+    pub fn with_scratch(
+        cfg: &SysConfig,
+        streams: Vec<OpStream>,
+        scratch: &mut EngineScratch,
+    ) -> Self {
         cfg.validate().expect("invalid configuration");
         let map = AddressMap::new(cfg.nodes, cfg.l2.block_bytes);
         assert!(
@@ -161,7 +205,12 @@ impl Machine {
                 }
             })
             .collect();
-        let mut queue = EventQueue::new();
+        // Far-future events are rare (one run-ahead wakeup per processor
+        // slice), so a small per-processor overflow reservation suffices.
+        let mut queue = scratch
+            .queue
+            .take()
+            .unwrap_or_else(|| EventQueue::with_capacity(4 * n));
         for p in 0..n {
             queue.schedule(0, Event::Resume(p));
         }
@@ -172,8 +221,8 @@ impl Machine {
             procs,
             nodes: (0..cfg.nodes).map(|_| Node::new(cfg)).collect(),
             proto: proto::build(cfg, map),
-            locks: HashMap::new(),
-            barriers: HashMap::new(),
+            locks: Vec::new(),
+            barriers: Vec::new(),
             stats: vec![NodeStats::default(); n],
             kick_pending: vec![false; n],
             live: n,
@@ -186,7 +235,20 @@ impl Machine {
     /// On deadlock (no events pending while processors are blocked) — which
     /// would indicate a malformed workload (mismatched barriers) or a
     /// simulator bug.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_inner().0
+    }
+
+    /// Runs to completion, parking the reusable allocations in `scratch`
+    /// for the caller's next [`Machine::with_scratch`].
+    pub fn run_reusing(self, scratch: &mut EngineScratch) -> RunReport {
+        let (report, queue) = self.run_inner();
+        scratch.queue = Some(queue);
+        report
+    }
+
+    fn run_inner(mut self) -> (RunReport, EventQueue<Event>) {
+        let t0 = Instant::now();
         while let Some((_, ev)) = self.queue.pop() {
             match ev {
                 Event::Resume(p) => self.run_proc(p),
@@ -208,13 +270,14 @@ impl Machine {
                 .map(|(i, p)| (i, p.state))
                 .collect::<Vec<_>>()
         );
+        let wall_ns = t0.elapsed().as_nanos() as u64;
         let cycles = self.stats.iter().map(|s| s.finish).max().unwrap_or(0);
         let memories = self
             .nodes
             .iter()
             .map(|n| (n.mem.reads(), n.mem.busy_total(), n.mem.mean_wait()))
             .collect();
-        RunReport {
+        let report = RunReport {
             arch: self.proto.arch().name(),
             cycles,
             nodes: self.stats,
@@ -223,12 +286,36 @@ impl Machine {
             events: self.queue.scheduled_total(),
             channels: self.proto.channel_report(),
             memories,
-        }
+            wall_ns,
+        };
+        self.queue.reset();
+        (report, self.queue)
     }
 
     /// True once `p` may pass a release-consistency fence.
     fn drained(&self, p: usize) -> bool {
         self.nodes[p].wb.is_empty() && !self.procs[p].retiring
+    }
+
+    /// Grows the dense lock table to cover id `l` (ids are small and
+    /// dense; after warm-up this is a bounds check that always passes).
+    #[inline]
+    fn ensure_lock(&mut self, l: u32) -> usize {
+        let i = l as usize;
+        if i >= self.locks.len() {
+            self.locks.resize_with(i + 1, LockState::default);
+        }
+        i
+    }
+
+    /// Grows the dense barrier table to cover id `b`.
+    #[inline]
+    fn ensure_barrier(&mut self, b: u32) -> usize {
+        let i = b as usize;
+        if i >= self.barriers.len() {
+            self.barriers.resize_with(i + 1, BarrierState::default);
+        }
+        i
     }
 
     /// Wakes a blocked processor at global time `at`, charging the stall.
@@ -419,18 +506,19 @@ impl Machine {
                         self.block_for_drain(p, op, now);
                         return;
                     }
-                    let lock = self.locks.entry(l).or_default();
+                    let li = self.ensure_lock(l);
+                    let lock = &self.locks[li];
                     if lock.held_by == Some(p) {
                         // Granted while we were blocked.
                         now += 1;
                     } else if lock.held_by.is_none() && lock.waiters.is_empty() {
                         let seen = self.proto.sync_broadcast(p, now);
-                        self.locks.get_mut(&l).unwrap().held_by = Some(p);
+                        self.locks[li].held_by = Some(p);
                         self.stats[p].sync_stall += seen - now;
                         now = seen;
                     } else {
                         let seen = self.proto.sync_broadcast(p, now);
-                        let lock = self.locks.get_mut(&l).unwrap();
+                        let lock = &mut self.locks[li];
                         lock.waiters.push_back(p);
                         self.procs[p].pending = Some(op);
                         self.procs[p].state = ProcState::BlockedLock(l);
@@ -456,7 +544,8 @@ impl Machine {
                         return;
                     }
                     let seen = self.proto.sync_broadcast(p, now);
-                    let lock = self.locks.entry(l).or_default();
+                    let li = self.ensure_lock(l);
+                    let lock = &mut self.locks[li];
                     debug_assert_eq!(lock.held_by, Some(p), "release by non-holder");
                     lock.held_by = None;
                     if let Some(w) = lock.waiters.pop_front() {
@@ -478,13 +567,17 @@ impl Machine {
                     }
                     let seen = self.proto.sync_broadcast(p, now);
                     let expected = self.procs.len();
-                    let bar = self.barriers.entry(b).or_default();
+                    let bi = self.ensure_barrier(b);
+                    let bar = &mut self.barriers[bi];
                     bar.arrived += 1;
                     bar.latest = bar.latest.max(seen);
                     if bar.arrived == expected {
                         let release = bar.latest + 2;
                         let waiters = std::mem::take(&mut bar.waiters);
-                        self.barriers.remove(&b);
+                        // Reset in place; the id starts fresh for its next
+                        // episode, exactly as removing a map entry did.
+                        bar.arrived = 0;
+                        bar.latest = 0;
                         for w in waiters {
                             self.wake(w, release, Stall::Sync);
                         }
@@ -629,14 +722,7 @@ mod tests {
     }
 
     fn custom(cfg: &SysConfig, streams: Vec<Vec<Op>>) -> RunReport {
-        Machine::with_streams(
-            cfg,
-            streams
-                .into_iter()
-                .map(|ops| Box::new(ops.into_iter()) as netcache_apps::OpStream)
-                .collect(),
-        )
-        .run()
+        Machine::with_streams(cfg, streams.into_iter().map(OpStream::from_ops).collect()).run()
     }
 
     #[test]

@@ -61,10 +61,12 @@ impl NodeStats {
 
 /// The outcome of one simulation run.
 ///
-/// `PartialEq` compares every field — the sweep engine's property tests
-/// use it to assert that parallel and serial sweeps are bit-identical
-/// (the simulator is deterministic; see `sweep`).
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every *deterministic* field — the sweep engine's
+/// property tests use it to assert that parallel and serial sweeps are
+/// bit-identical (the simulator is deterministic; see `sweep`). The
+/// host-dependent throughput measurement (`wall_ns`) is excluded, like it
+/// is from [`RunReport::digest`].
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Architecture name.
     pub arch: &'static str,
@@ -82,9 +84,37 @@ pub struct RunReport {
     pub channels: Vec<(String, u64, u64, f64)>,
     /// Per-memory-module `(reads, busy cycles, mean queue wait)`.
     pub memories: Vec<(u64, u64, f64)>,
+    /// Wall-clock nanoseconds spent inside the event loop — the engine
+    /// throughput measurement (host-dependent; excluded from equality).
+    pub wall_ns: u64,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `wall_ns`: determinism means identical stats,
+        // not identical host timing.
+        self.arch == other.arch
+            && self.cycles == other.cycles
+            && self.nodes == other.nodes
+            && self.proto == other.proto
+            && self.ring == other.ring
+            && self.events == other.events
+            && self.channels == other.channels
+            && self.memories == other.memories
+    }
 }
 
 impl RunReport {
+    /// Engine throughput: simulation events processed per wall-clock
+    /// second (0 when the run was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
     fn sum(&self, f: impl Fn(&NodeStats) -> u64) -> u64 {
         self.nodes.iter().map(f).sum()
     }
@@ -162,6 +192,93 @@ impl RunReport {
         }
     }
 
+    /// FNV-1a digest over every *deterministic* field of the report — the
+    /// golden-determinism fingerprint (`tests/golden.rs`). Two reports of
+    /// the same configuration must produce the same digest on any host and
+    /// any engine revision; host-dependent measurements (wall time,
+    /// events/sec) are deliberately excluded, exactly as they are from
+    /// `PartialEq`.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut put = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for b in self.arch.bytes() {
+            put(b as u64);
+        }
+        put(self.cycles);
+        put(self.events);
+        for n in &self.nodes {
+            for v in [
+                n.busy,
+                n.read_stall,
+                n.wb_stall,
+                n.sync_stall,
+                n.reads,
+                n.writes,
+                n.l1_hits,
+                n.l2_hits,
+                n.wb_forwards,
+                n.local_mem_reads,
+                n.remote_mem_reads,
+                n.shared_hits,
+                n.shared_coalesced,
+                n.forwarded_reads,
+                n.shared_read_stall,
+                n.shared_reads,
+                n.finish,
+            ] {
+                put(v);
+            }
+        }
+        let p = &self.proto;
+        for v in [
+            p.updates,
+            p.invalidations,
+            p.local_writes,
+            p.writebacks,
+            p.forwards,
+            p.write_fetches,
+            p.sync_msgs,
+            p.remote_l2_refreshes,
+            p.remote_l1_invalidates,
+        ] {
+            put(v);
+        }
+        if let Some(r) = self.ring {
+            for v in [
+                r.hits,
+                r.coalesced,
+                r.misses,
+                r.inserts,
+                r.replacements,
+                r.updates_applied,
+                r.window_delays,
+            ] {
+                put(v);
+            }
+        }
+        for (name, served, busy, wait) in &self.channels {
+            for b in name.bytes() {
+                put(b as u64);
+            }
+            put(*served);
+            put(*busy);
+            put(wait.to_bits());
+        }
+        for (reads, busy, wait) in &self.memories {
+            put(*reads);
+            put(*busy);
+            put(wait.to_bits());
+        }
+        h
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
@@ -192,6 +309,7 @@ mod tests {
             events: 0,
             channels: Vec::new(),
             memories: Vec::new(),
+            wall_ns: 0,
         }
     }
 
@@ -243,6 +361,27 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(n.network_reads(), 11);
+    }
+
+    #[test]
+    fn wall_time_excluded_from_equality_and_digest() {
+        let mut a = report_with(vec![NodeStats::default()], 10);
+        let b = a.clone();
+        a.wall_ns = 123_456;
+        assert_eq!(a, b, "wall time is host-dependent, not part of identity");
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.events_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn digest_separates_different_reports() {
+        let a = report_with(vec![NodeStats::default()], 10);
+        let mut b = a.clone();
+        b.cycles = 11;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.events = 1;
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -22,8 +22,6 @@
 //! (Table 3); the resulting partially-dirty lines are merged at writeback,
 //! which the timing model folds into the writeback occupancy.
 
-use std::collections::HashMap;
-
 use desim::Time;
 use memsys::{Addr, AddressMap, BlockAddr, WriteEntry};
 
@@ -32,12 +30,122 @@ use super::{Node, ProtoCounters, Protocol, ReadKind, ReadResult};
 use crate::config::{Arch, SysConfig};
 use crate::latency::consts;
 
+/// Slot sentinel for [`DirMap`]: no real block is `u64::MAX`.
+const DIR_EMPTY: BlockAddr = BlockAddr::MAX;
+
+/// Open-addressed `block -> owner` directory: linear probing with
+/// backward-shift deletion, Fibonacci hashing, power-of-two capacity.
+/// Every I-SPEED memory request consults the directory, so this sits on
+/// the per-event hot path — one multiply and a short probe run beat the
+/// std `HashMap`'s SipHash per lookup.
+struct DirMap {
+    keys: Vec<BlockAddr>,
+    vals: Vec<usize>,
+    len: usize,
+}
+
+impl DirMap {
+    fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two();
+        Self {
+            keys: vec![DIR_EMPTY; cap],
+            vals: vec![0; cap],
+            len: 0,
+        }
+    }
+
+    /// Fibonacci hash: block numbers are dense/low-entropy, the golden
+    /// ratio multiply spreads them over the high bits.
+    #[inline]
+    fn home_slot(&self, key: BlockAddr) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.keys.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, key: BlockAddr) -> Option<usize> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.home_slot(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => return Some(self.vals[i]),
+                DIR_EMPTY => return None,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: BlockAddr, val: usize) {
+        if self.len * 10 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.home_slot(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => {
+                    self.vals[i] = val;
+                    return;
+                }
+                DIR_EMPTY => {
+                    self.keys[i] = key;
+                    self.vals[i] = val;
+                    self.len += 1;
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn remove(&mut self, key: BlockAddr) {
+        let mask = self.keys.len() - 1;
+        let mut i = self.home_slot(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => break,
+                DIR_EMPTY => return,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        // Backward-shift deletion: pull later entries of the probe run
+        // into the hole so lookups never cross a gap (no tombstones).
+        self.keys[i] = DIR_EMPTY;
+        self.len -= 1;
+        let mut j = (i + 1) & mask;
+        while self.keys[j] != DIR_EMPTY {
+            let home = self.home_slot(self.keys[j]);
+            // Movable iff the hole lies on this entry's probe path.
+            if (i.wrapping_sub(home) & mask) < (j.wrapping_sub(home) & mask) {
+                self.keys[i] = self.keys[j];
+                self.vals[i] = self.vals[j];
+                self.keys[j] = DIR_EMPTY;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = Self::with_capacity(self.keys.len() * 2);
+        for (idx, &k) in self.keys.iter().enumerate() {
+            if k != DIR_EMPTY {
+                bigger.insert(k, self.vals[idx]);
+            }
+        }
+        *self = bigger;
+    }
+}
+
 /// DMON with I-SPEED.
 pub struct DmonI {
     map: AddressMap,
     ch: DmonChannels,
     /// Directory: block -> owning node. Absent means memory owns it.
-    owner: HashMap<BlockAddr, usize>,
+    owner: DirMap,
     counters: ProtoCounters,
 }
 
@@ -47,7 +155,7 @@ impl DmonI {
         Self {
             map,
             ch: DmonChannels::new(cfg, 1),
-            owner: HashMap::new(),
+            owner: DirMap::new(),
             counters: ProtoCounters::default(),
         }
     }
@@ -128,7 +236,7 @@ impl Protocol for DmonI {
     fn read_remote(&mut self, nodes: &mut [Node], node: usize, addr: Addr, t: Time) -> ReadResult {
         let home = self.map.home_of(addr);
         let block = self.map.block_of(addr);
-        match self.owner.get(&block).copied() {
+        match self.owner.get(block) {
             Some(o) if o != node && nodes[o].l2.contains(addr) => ReadResult {
                 done: self.forwarded_read(nodes, node, home, o, t),
                 kind: ReadKind::Forwarded,
@@ -155,7 +263,7 @@ impl Protocol for DmonI {
     ) -> Time {
         let block = entry.block;
         // Already the owner with the block cached: a pure local write.
-        if self.owner.get(&block) == Some(&node) && nodes[node].l2.contains(entry.addr) {
+        if self.owner.get(block) == Some(node) && nodes[node].l2.contains(entry.addr) {
             self.counters.local_writes += 1;
             nodes[node].l2.write_update(entry.addr, true);
             return t + consts::L2_TAG + consts::DMONI_LOCAL_WRITE;
@@ -186,12 +294,12 @@ impl Protocol for DmonI {
     }
 
     fn evicted_l2(&mut self, nodes: &mut [Node], node: usize, block: u64, dirty: bool, t: Time) {
-        if !dirty || self.owner.get(&block) != Some(&node) {
+        if !dirty || self.owner.get(block) != Some(node) {
             return;
         }
         // Dirty owner eviction: write the block back to its home memory.
         self.counters.writebacks += 1;
-        self.owner.remove(&block);
+        self.owner.remove(block);
         let addr = block * 64;
         let home = self.map.home_of(addr);
         let granted = self.ch.reserve(node, t + consts::L2_TO_NI);
@@ -231,6 +339,38 @@ mod tests {
             addr: a,
             mask: 0xFF,
             shared: true,
+        }
+    }
+
+    #[test]
+    fn dir_map_matches_std_hashmap() {
+        // Differential: a random insert/remove/lookup mix over a small
+        // key space (forcing probe-run collisions, growth, and
+        // backward-shift deletions across wraps) must agree with the std
+        // map at every step.
+        use std::collections::HashMap;
+        let mut dir = DirMap::with_capacity(8); // tiny: exercise grow()
+        let mut reference: HashMap<BlockAddr, usize> = HashMap::new();
+        let mut rng = desim::SplitMix64::new(0xD1_12_EC_70);
+        for _ in 0..20_000 {
+            let key = rng.next_u64() % 512;
+            match rng.next_u64() % 3 {
+                0 => {
+                    let val = (rng.next_u64() % 16) as usize;
+                    dir.insert(key, val);
+                    reference.insert(key, val);
+                }
+                1 => {
+                    dir.remove(key);
+                    reference.remove(&key);
+                }
+                _ => {}
+            }
+            assert_eq!(dir.get(key), reference.get(&key).copied(), "key {key}");
+        }
+        assert_eq!(dir.len, reference.len());
+        for (&k, &v) in &reference {
+            assert_eq!(dir.get(k), Some(v));
         }
     }
 

@@ -16,13 +16,25 @@
 //! * the native replacement policy is **Random** — "the next shared cache
 //!   line to pass through the home node" — with LRU/LFU/FIFO alternatives
 //!   for the Fig. 12 study.
-
-use std::collections::HashMap;
+//!
+//! # Hot-path layout
+//!
+//! Presence is a dense per-channel tag array (`frames_per_channel` tags,
+//! one cache line per channel at the base geometry) scanned linearly —
+//! a probe is a modulo plus at most four word compares, with no hashing
+//! and no pointer chasing. The §3.4 window lives as an expiry timestamp
+//! *inside* the frame; windows orphaned by eviction (the race window is
+//! keyed by block, so it outlives the frame) move to a small bounded
+//! buffer and are re-adopted if the block is reinserted before expiry.
 
 use crate::config::{ChannelAssoc, Replacement, RingConfig};
 use desim::time::{Duration, Time};
 use memsys::BlockAddr;
 use optics::{RingGeometry, RingSlot};
+
+/// Tag value for an unoccupied frame (no real block address reaches it:
+/// block numbers are derived from word addresses divided by block size).
+const EMPTY: BlockAddr = BlockAddr::MAX;
 
 /// Result of probing the shared cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,11 +58,12 @@ pub enum RingLookup {
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Frame {
-    block: Option<BlockAddr>,
     valid_from: Time,
     last_used: Time,
     uses: u64,
     inserted: Time,
+    /// §3.4 update-window expiry; `0` (or any time ≤ now) means no window.
+    window_exp: Time,
 }
 
 /// Counters published by the ring cache.
@@ -97,9 +110,18 @@ impl RingStats {
 pub struct RingCache {
     geom: RingGeometry,
     cfg: RingConfig,
-    frames: Vec<Frame>, // channel-major: frames[ch * fpc + f]
-    present: HashMap<BlockAddr, usize>,
-    window: HashMap<BlockAddr, Time>,
+    /// Resident line number per frame (`EMPTY` when vacant), channel-major
+    /// (`tags[ch * fpc + f]`) — the whole presence index for a channel fits
+    /// in one cache line at the base `frames_per_channel = 4`.
+    tags: Vec<BlockAddr>,
+    /// Reference/validity metadata, parallel to `tags`.
+    frames: Vec<Frame>,
+    /// §3.4 windows whose frame was evicted mid-window: `(line, expiry)`.
+    /// Every entry expires within one window length of its push, so the
+    /// buffer is bounded by the racing-eviction rate, not the run length.
+    orphans: Vec<(BlockAddr, Time)>,
+    /// Occupied frame count.
+    occupied: usize,
     window_len: Duration,
     /// Coherence blocks per shared-cache line (1 at the base 64 B).
     blocks_per_line: u64,
@@ -110,14 +132,15 @@ impl RingCache {
     /// Builds an empty shared cache for `nodes` taps.
     pub fn new(cfg: RingConfig, nodes: usize) -> Self {
         let geom = cfg.geometry(nodes);
-        let frames = vec![Frame::default(); cfg.channels.max(1) * cfg.frames_per_channel];
+        let n_frames = cfg.channels.max(1) * cfg.frames_per_channel;
         assert!(cfg.block_bytes >= 64 && cfg.block_bytes.is_multiple_of(64));
         Self {
             geom,
             cfg,
-            frames,
-            present: HashMap::new(),
-            window: HashMap::new(),
+            tags: vec![EMPTY; n_frames],
+            frames: vec![Frame::default(); n_frames],
+            orphans: Vec::new(),
+            occupied: 0,
             // Two roundtrips: the §3.4 upper bound on home-update latency
             // (zero when the study ablates the race window).
             window_len: if cfg.race_window {
@@ -159,20 +182,15 @@ impl RingCache {
         }
     }
 
-    /// The §3.4 update window: earliest time a ring read of `block` may
-    /// begin.
-    fn window_start(&mut self, block: BlockAddr, now: Time) -> Time {
-        match self.window.get(&block) {
-            Some(&exp) if exp > now => {
-                self.stats.window_delays += 1;
-                exp
-            }
-            Some(_) => {
-                self.window.remove(&block);
-                now
-            }
-            None => now,
-        }
+    /// Frame index holding `line`, by scanning its home channel's tags.
+    #[inline]
+    fn find(&self, line: BlockAddr) -> Option<usize> {
+        let fpc = self.cfg.frames_per_channel;
+        let base = self.geom.channel_of_block(line) * fpc;
+        self.tags[base..base + fpc]
+            .iter()
+            .position(|&t| t == line)
+            .map(|f| base + f)
     }
 
     /// Probes the shared cache from `node` at `now`, updating reference
@@ -181,14 +199,21 @@ impl RingCache {
         if !self.cfg.enabled() {
             return RingLookup::Miss;
         }
-        let block = self.line_of(block);
-        let Some(&idx) = self.present.get(&block) else {
+        let line = self.line_of(block);
+        let Some(idx) = self.find(line) else {
             self.stats.misses += 1;
             return RingLookup::Miss;
         };
-        let start = self.window_start(block, now);
+        // §3.4 update window: earliest time the ring read may begin.
         let slot = self.slot_of_index(idx);
         let frame = &mut self.frames[idx];
+        let start = if frame.window_exp > now {
+            self.stats.window_delays += 1;
+            frame.window_exp
+        } else {
+            frame.window_exp = 0;
+            now
+        };
         if frame.valid_from <= now {
             frame.last_used = now;
             frame.uses += 1;
@@ -206,7 +231,7 @@ impl RingCache {
     /// Non-mutating presence check (home nodes' hash table, §3.4: the home
     /// "checks if the block is already in any of its cache channels").
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.present.contains_key(&self.line_of(block))
+        self.find(self.line_of(block)).is_some()
     }
 
     /// Chooses the victim frame on `channel` for `block` per the
@@ -231,7 +256,7 @@ impl RingCache {
         // Prefer an empty frame (soonest-passing among empties).
         let mut empty: Option<(usize, Time)> = None;
         for f in 0..fpc {
-            if self.frames[base + f].block.is_none() {
+            if self.tags[base + f] == EMPTY {
                 let slot = RingSlot { channel, frame: f };
                 let t = self.geom.frame_ready_at(slot, home, now) - self.geom.read_overhead;
                 if empty.is_none_or(|(_, bt)| t < bt) {
@@ -275,27 +300,60 @@ impl RingCache {
     /// No write-back is ever needed: memory is always up to date (§3.4).
     pub fn insert(&mut self, block: BlockAddr, home: usize, now: Time) -> Time {
         assert!(self.cfg.enabled(), "insert into disabled ring");
-        let block = self.line_of(block);
-        if let Some(&idx) = self.present.get(&block) {
+        let line = self.line_of(block);
+        if let Some(idx) = self.find(line) {
             // Already circulating (e.g., racing insert): keep it.
             return self.frames[idx].valid_from.max(now);
         }
-        let channel = self.geom.channel_of_block(block);
-        let (idx, at) = self.choose_victim(block, channel, home, now);
-        if let Some(old) = self.frames[idx].block {
-            self.present.remove(&old);
+        let channel = self.geom.channel_of_block(line);
+        let (idx, at) = self.choose_victim(line, channel, home, now);
+        if self.tags[idx] != EMPTY {
+            // A live §3.4 window is keyed by the block, not the frame: it
+            // survives eviction (the stale circulating copy is gone, but
+            // the home's update bound still applies if the block returns).
+            let w = self.frames[idx].window_exp;
+            if w > now {
+                self.push_orphan(self.tags[idx], w, now);
+            }
+            self.occupied -= 1;
             self.stats.replacements += 1;
         }
+        self.tags[idx] = line;
         self.frames[idx] = Frame {
-            block: Some(block),
             valid_from: at,
             last_used: at,
             uses: 0,
             inserted: at,
+            window_exp: self.take_orphan(line, now),
         };
-        self.present.insert(block, idx);
+        self.occupied += 1;
         self.stats.inserts += 1;
         at
+    }
+
+    /// Parks an eviction-orphaned window. Dead entries (expiry in the
+    /// past) are compacted away opportunistically, so the buffer tracks
+    /// only windows still open *right now* — at most one per racing block,
+    /// all expiring within `window_len` cycles.
+    fn push_orphan(&mut self, line: BlockAddr, exp: Time, now: Time) {
+        if self.orphans.len() >= 16 {
+            self.orphans.retain(|&(_, e)| e > now);
+        }
+        self.orphans.push((line, exp));
+    }
+
+    /// Re-adopts (and removes) `line`'s orphaned window, if one is open.
+    fn take_orphan(&mut self, line: BlockAddr, now: Time) -> Time {
+        if self.orphans.is_empty() {
+            return 0;
+        }
+        if let Some(i) = self.orphans.iter().position(|&(b, _)| b == line) {
+            let (_, exp) = self.orphans.swap_remove(i);
+            if exp > now {
+                return exp;
+            }
+        }
+        0
     }
 
     /// The home node applies a coherence update to the circulating copy,
@@ -304,19 +362,16 @@ impl RingCache {
         if !self.cfg.enabled() {
             return;
         }
-        let block = self.line_of(block);
-        if self.present.contains_key(&block) {
+        let line = self.line_of(block);
+        if let Some(idx) = self.find(line) {
             self.stats.updates_applied += 1;
-            self.window.insert(block, now + self.window_len);
-            if self.window.len() > 8192 {
-                self.window.retain(|_, &mut exp| exp > now);
-            }
+            self.frames[idx].window_exp = now + self.window_len;
         }
     }
 
     /// Number of distinct blocks currently cached.
     pub fn occupancy(&self) -> usize {
-        self.present.len()
+        self.occupied
     }
 
     /// Total block capacity.
@@ -397,7 +452,8 @@ mod tests {
         }
         // At node 0, frame boundaries pass at 10/20/30/40; at now=12 the
         // next pass is frame 1.
-        let victim_block = r.frames[1].block.unwrap();
+        let victim_block = r.tags[1];
+        assert_ne!(victim_block, EMPTY);
         r.insert(64, 0, 12);
         assert!(!r.contains(victim_block), "frame 1's block evicted");
     }
@@ -482,6 +538,72 @@ mod tests {
             RingLookup::Hit { ready } => assert!(ready < t + 200 + 46),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn update_window_survives_eviction_and_reinsert() {
+        // The §3.4 race window is keyed by block, not frame: evicting a
+        // freshly-updated block and reinserting it within the window must
+        // still delay readers (exactly as the old block-keyed map did).
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 0);
+        }
+        let upd_t = 100;
+        r.apply_update(16, upd_t); // window open until upd_t + 80
+                                   // Force 16 out: direct channel pressure via a fifth channel-0 block.
+        r.insert(64, 0, upd_t + 5);
+        if r.contains(16) {
+            return; // replacement picked another victim; nothing to check
+        }
+        let back = r.insert(16, 0, upd_t + 20);
+        match r.lookup(16, 4, back.max(upd_t + 25)) {
+            RingLookup::Hit { ready } | RingLookup::InFlight { ready } => {
+                assert!(
+                    ready >= upd_t + 80,
+                    "reinserted block ignored its open window: ready {ready}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().window_delays, 1);
+    }
+
+    #[test]
+    fn expired_orphan_windows_are_dropped() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        for b in [0u64, 16, 32, 48] {
+            r.insert(b, 0, 0);
+        }
+        r.apply_update(16, 100);
+        r.insert(64, 0, 105); // may evict 16, orphaning its window
+                              // Long after expiry, reinsertion must carry no window.
+        let back = r.insert(16, 0, 10_000);
+        match r.lookup(16, 4, back + 10) {
+            RingLookup::Hit { ready } => assert!(ready < back + 10 + 46),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().window_delays, 0);
+    }
+
+    #[test]
+    fn orphan_buffer_stays_bounded() {
+        // Many updated-then-evicted blocks must not grow the orphan buffer
+        // past the racing-eviction scale (the old map needed an 8192-entry
+        // purge; the buffer self-compacts).
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        for round in 0u64..2000 {
+            let t = round * 200;
+            let b = (round % 97) * 16; // channel 0
+            r.insert(b, 0, t);
+            r.apply_update(b, t + 50);
+            r.insert(b + 16 * 97, 0, t + 60); // pressure: evictions likely
+        }
+        assert!(
+            r.orphans.len() <= 17,
+            "orphan buffer grew to {}",
+            r.orphans.len()
+        );
     }
 
     #[test]

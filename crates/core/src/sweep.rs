@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use netcache_apps::{AppId, Workload};
 
 use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
-use crate::machine::Machine;
+use crate::machine::{EngineScratch, Machine};
 use crate::metrics::RunReport;
 
 /// One fully resolved cell of a sweep grid.
@@ -79,6 +79,16 @@ impl SweepPoint {
     pub fn run(&self) -> RunReport {
         let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
         Machine::new(&self.cfg, &wl).run()
+    }
+
+    /// [`SweepPoint::run`] reusing engine allocations across cells: the
+    /// event queue from the previous run on this worker is recycled
+    /// instead of reallocated. Reports are bit-identical to [`run`].
+    ///
+    /// [`run`]: SweepPoint::run
+    pub fn run_with(&self, scratch: &mut EngineScratch) -> RunReport {
+        let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
+        Machine::new_with_scratch(&self.cfg, &wl, scratch).run_reusing(scratch)
     }
 }
 
@@ -307,22 +317,27 @@ impl Sweep {
     pub fn run_observed(&self, jobs: usize, obs: &(impl SweepObserver + ?Sized)) -> SweepResult {
         let total = self.points.len();
         let t0 = Instant::now();
-        let runs = par_map(self.points.clone(), jobs, |i, p: SweepPoint| {
-            obs.on_start(i, total, &p.label);
-            let rt0 = Instant::now();
-            let report = p.run();
-            let wall = rt0.elapsed();
-            obs.on_finish(i, total, &p.label, wall, &report);
-            SweepRun {
-                label: p.label,
-                arch: report.arch,
-                app: p.app,
-                nodes: p.cfg.nodes,
-                scale: p.scale,
-                wall,
-                report,
-            }
-        });
+        let runs = par_map_with(
+            self.points.clone(),
+            jobs,
+            EngineScratch::new,
+            |scratch, i, p: SweepPoint| {
+                obs.on_start(i, total, &p.label);
+                let rt0 = Instant::now();
+                let report = p.run_with(scratch);
+                let wall = rt0.elapsed();
+                obs.on_finish(i, total, &p.label, wall, &report);
+                SweepRun {
+                    label: p.label,
+                    arch: report.arch,
+                    app: p.app,
+                    nodes: p.cfg.nodes,
+                    scale: p.scale,
+                    wall,
+                    report,
+                }
+            },
+        );
         SweepResult {
             runs,
             wall: t0.elapsed(),
@@ -335,12 +350,13 @@ impl Sweep {
     /// `run(j)` produce bit-identical reports.
     pub fn run_serial(&self) -> SweepResult {
         let t0 = Instant::now();
+        let mut scratch = EngineScratch::new();
         let runs = self
             .points
             .iter()
             .map(|p| {
                 let rt0 = Instant::now();
-                let report = p.run();
+                let report = p.run_with(&mut scratch);
                 SweepRun {
                     label: p.label.clone(),
                     arch: report.arch,
@@ -400,12 +416,13 @@ impl SweepResult {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "label,arch,app,nodes,scale,cycles,events,reads,l1_hit_rate,l2_hit_rate,\
-             shared_hit_rate,read_stall_frac,sync_frac,avg_shared_read_latency,wall_ms\n",
+             shared_hit_rate,read_stall_frac,sync_frac,avg_shared_read_latency,wall_ms,\
+             events_per_sec\n",
         );
         for r in &self.runs {
             let rep = &r.report;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.0}\n",
                 r.label,
                 r.arch,
                 r.app.name(),
@@ -421,6 +438,7 @@ impl SweepResult {
                 rep.sync_fraction(),
                 rep.avg_shared_read_latency(),
                 r.wall.as_secs_f64() * 1e3,
+                rep.events_per_sec(),
             ));
         }
         out
@@ -439,7 +457,7 @@ impl SweepResult {
                  \"reads\": {}, \"l1_hit_rate\": {:.6}, \"l2_hit_rate\": {:.6}, \
                  \"shared_hit_rate\": {:.6}, \"read_stall_frac\": {:.6}, \
                  \"sync_frac\": {:.6}, \"avg_shared_read_latency\": {:.3}, \
-                 \"wall_ms\": {:.3}}}{comma}\n",
+                 \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{comma}\n",
                 r.label,
                 r.arch,
                 r.app.name(),
@@ -455,6 +473,7 @@ impl SweepResult {
                 rep.sync_fraction(),
                 rep.avg_shared_read_latency(),
                 r.wall.as_secs_f64() * 1e3,
+                rep.events_per_sec(),
             ));
         }
         out.push_str(&format!(
@@ -544,13 +563,35 @@ where
     O: Send,
     F: Fn(usize, I) -> O + Sync,
 {
+    par_map_with(items, jobs, || (), |(), i, x| f(i, x))
+}
+
+/// [`par_map`] with per-worker state: every worker thread builds one `S`
+/// via `init()` when it starts and threads it through each `f` call it
+/// executes. The sweep engine uses this to reuse engine allocations
+/// ([`EngineScratch`]) across the cells a worker runs — state never
+/// crosses threads, so determinism is untouched.
+///
+/// With `jobs <= 1` (or a single item) everything runs inline on the
+/// caller's thread with a single state.
+///
+/// # Panics
+/// Propagates the first worker panic after the scope joins.
+pub fn par_map_with<I, O, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> O + Sync,
+{
     let n = items.len();
     let jobs = jobs.clamp(1, n.max(1));
     if jobs == 1 {
+        let mut state = init();
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| f(&mut state, i, x))
             .collect();
     }
     // Input slots are taken exactly once (guarded by the atomic cursor);
@@ -560,14 +601,17 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i].lock().unwrap().take().expect("input taken once");
+                    let out = f(&mut state, i, item);
+                    *outputs[i].lock().unwrap() = Some(out);
                 }
-                let item = inputs[i].lock().unwrap().take().expect("input taken once");
-                let out = f(i, item);
-                *outputs[i].lock().unwrap() = Some(out);
             });
         }
     });
@@ -698,8 +742,60 @@ mod tests {
         let csv = res.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("label,arch,app,"));
+        // events_per_sec rides as the LAST column so consumers slicing
+        // the stable prefix (cut -f1-14) stay valid.
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("wall_ms,events_per_sec"));
         let json = res.to_json();
         assert!(json.contains("\"app\": \"fft\""));
         assert!(json.contains("\"jobs\": 1"));
+        assert!(json.contains("\"events_per_sec\": "));
+    }
+
+    #[test]
+    fn par_map_with_builds_one_state_per_worker_and_keeps_order() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with(
+            (0..64u64).collect(),
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64 // per-worker running count
+            },
+            |seen, i, x| {
+                *seen += 1;
+                (i as u64, x * 3, *seen)
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 4);
+        let mut total_seen = 0;
+        for (i, (idx, v, seen)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*v, i as u64 * 3);
+            if *seen == 1 {
+                total_seen += 1; // each worker starts its count at 1
+            }
+        }
+        assert!(total_seen <= 4);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let sweep = SweepSpec::new()
+            .archs([Arch::NetCache, Arch::DmonU])
+            .apps([AppId::Sor, AppId::Fft])
+            .nodes([4])
+            .scale(0.02)
+            .build();
+        let mut scratch = EngineScratch::new();
+        for p in sweep.points() {
+            // Fresh machine vs. scratch-recycled machine: same report
+            // (PartialEq ignores only the host wall-time field).
+            assert_eq!(p.run(), p.run_with(&mut scratch), "{}", p.label);
+        }
     }
 }

@@ -20,7 +20,7 @@ const BUFFERS: u64 = 512; // shared buffer blocks (32 KB — twice the L2)
 const ROUNDS: u64 = 40;
 
 fn producer() -> OpStream {
-    Box::new((0..ROUNDS).flat_map(|round| {
+    OpStream::lazy((0..ROUNDS).flat_map(|round| {
         let mut ops = Vec::new();
         for b in 0..BUFFERS {
             // Fill one block: 16 word writes + some compute.
@@ -35,7 +35,7 @@ fn producer() -> OpStream {
 }
 
 fn consumer(id: u64) -> OpStream {
-    Box::new((0..ROUNDS).flat_map(move |round| {
+    OpStream::lazy((0..ROUNDS).flat_map(move |round| {
         let mut ops = Vec::new();
         for b in 0..BUFFERS {
             // Read a few words of each buffer, offset by consumer id so

@@ -9,6 +9,7 @@
 //! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
 //! netcache profile <app> [--scale S] [--procs P]       # stream statistics
+//! netcache bench-engine [--json F] [--procs P] [--scale S]  # engine events/sec
 //! ```
 //!
 //! Architectures: `netcache` (default), `lambdanet`, `dmon-u`, `dmon-i`.
@@ -44,7 +45,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netcache <run|compare|sweep|trace|replay|profile> ... \
+        "usage: netcache <run|compare|sweep|trace|replay|profile|bench-engine> ... \
          [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
          [--json FILE] [--csv FILE] [--serial] [--quiet]"
@@ -312,6 +313,79 @@ fn main() {
             let cfg = SysConfig::base(args.arch).with_nodes(procs.max(args.procs));
             let r = Machine::with_streams(&cfg, streams).run();
             println!("replayed {procs} traces: {}", r.summary());
+        }
+        "bench-engine" => {
+            // Engine throughput harness: the Fig. 6-style NetCache row
+            // (all twelve apps, one arch, fixed node count) run serially
+            // so cell timings don't contend for cores. Events/sec uses
+            // each report's own event-loop wall time (`wall_ns`), which
+            // excludes machine construction but includes lazy op
+            // generation — the engine's real steady-state cost.
+            let sweep = SweepSpec::new()
+                .archs([args.arch])
+                .all_apps()
+                .nodes([args.procs])
+                .scale(args.scale)
+                .build();
+            let result = sweep.run_serial();
+            println!(
+                "{:<32} {:>12} {:>10} {:>14}",
+                "cell", "events", "wall ms", "events/sec"
+            );
+            let mut total_events = 0u64;
+            let mut total_sim_ns = 0u64;
+            for r in &result.runs {
+                total_events += r.report.events;
+                total_sim_ns += r.report.wall_ns;
+                println!(
+                    "{:<32} {:>12} {:>10.1} {:>14.0}",
+                    r.label,
+                    r.report.events,
+                    r.report.wall_ns as f64 / 1e6,
+                    r.report.events_per_sec()
+                );
+            }
+            let agg_eps = total_events as f64 / (total_sim_ns as f64 / 1e9);
+            println!(
+                "\ntotal: {} events in {:.2} s engine time ({:.2} s sweep wall): {:.0} events/sec",
+                total_events,
+                total_sim_ns as f64 / 1e9,
+                result.wall.as_secs_f64(),
+                agg_eps
+            );
+            let path = args
+                .json
+                .clone()
+                .unwrap_or_else(|| "BENCH_engine.json".into());
+            let mut json = format!(
+                "{{\n  \"bench\": \"engine\",\n  \"grid\": \"{} x {} apps, {} nodes, scale {}, serial\",\n  \"cells\": [\n",
+                args.arch.name(),
+                result.runs.len(),
+                args.procs,
+                args.scale
+            );
+            for (i, r) in result.runs.iter().enumerate() {
+                let comma = if i + 1 < result.runs.len() { "," } else { "" };
+                json.push_str(&format!(
+                    "    {{\"label\": \"{}\", \"events\": {}, \"engine_ms\": {:.3}, \
+                     \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{comma}\n",
+                    r.label,
+                    r.report.events,
+                    r.report.wall_ns as f64 / 1e6,
+                    r.wall.as_secs_f64() * 1e3,
+                    r.report.events_per_sec()
+                ));
+            }
+            json.push_str(&format!(
+                "  ],\n  \"total_events\": {},\n  \"engine_s\": {:.3},\n  \
+                 \"sweep_wall_s\": {:.3},\n  \"events_per_sec\": {:.0}\n}}\n",
+                total_events,
+                total_sim_ns as f64 / 1e9,
+                result.wall.as_secs_f64(),
+                agg_eps
+            ));
+            std::fs::write(&path, json).expect("write bench json");
+            println!("wrote {path}");
         }
         "profile" => {
             let app = app_by_name(

@@ -148,7 +148,7 @@ fn custom_streams_api_works_end_to_end() {
     // reach of the ring): the leader's misses feed everyone else.
     let streams = (0..4u64)
         .map(|p| {
-            Box::new(
+            netcache::apps::OpStream::lazy(
                 (0..4000u64)
                     .flat_map(move |i| {
                         // Same block sequence on every processor, offset a
@@ -160,7 +160,7 @@ fn custom_streams_api_works_end_to_end() {
                         ]
                     })
                     .chain([Op::Barrier(0)]),
-            ) as netcache::apps::OpStream
+            )
         })
         .collect();
     let r = Machine::with_streams(&cfg, streams).run();

@@ -1,0 +1,87 @@
+//! Golden-determinism guard.
+//!
+//! Each cell below pins the FNV-1a digest of the full `RunReport`
+//! (every stat, counter, and final time — see `RunReport::digest`) for a
+//! small architecture × application grid. The digests were captured from
+//! the pre-timing-wheel engine (BinaryHeap event queue, HashMap ring
+//! index); the rewritten engine must reproduce every report bit-for-bit.
+//!
+//! If a cell fails here, event delivery order (the `(time, seq)` FIFO
+//! tie-break) or the ring/lock/barrier semantics changed — that is a
+//! correctness bug, not a tolerable drift. Only an *intentional* model
+//! change may update these constants; regenerate with:
+//!
+//! ```text
+//! cargo test --release --test golden -- --ignored --nocapture regen
+//! ```
+
+use netcache::apps::{AppId, Workload};
+use netcache::{run_app, Arch, SysConfig};
+
+/// The pinned grid: `(arch, app, nodes, scale-per-mille, digest)`.
+/// Scale is stored ×1000 so the table stays integer-only.
+const GOLDEN: &[(Arch, AppId, usize, u32, u64)] = &[
+    (Arch::NetCache, AppId::Fft, 4, 20, 0xe2388b22d300ea74),
+    (Arch::NetCache, AppId::Gauss, 4, 20, 0xe40f4a056055caa3),
+    (Arch::NetCache, AppId::Sor, 4, 20, 0xa7273921d554e9e3),
+    (Arch::NetCache, AppId::Radix, 4, 20, 0x126b40ffcfc50b47),
+    (Arch::LambdaNet, AppId::Fft, 4, 20, 0x8820404bcd9bcc89),
+    (Arch::LambdaNet, AppId::Gauss, 4, 20, 0xace8e831807d058f),
+    (Arch::LambdaNet, AppId::Sor, 4, 20, 0x7020849e15b8b01d),
+    (Arch::LambdaNet, AppId::Radix, 4, 20, 0x1b1b56015a7b5a9b),
+    (Arch::DmonU, AppId::Fft, 4, 20, 0x9c437045391877e0),
+    (Arch::DmonU, AppId::Gauss, 4, 20, 0x78efe302a1d2a948),
+    (Arch::DmonU, AppId::Sor, 4, 20, 0xa47cb24ad031ff1a),
+    (Arch::DmonU, AppId::Radix, 4, 20, 0xc43305708aa030a9),
+    (Arch::DmonI, AppId::Fft, 4, 20, 0x6db1e8bdb707f6a8),
+    (Arch::DmonI, AppId::Gauss, 4, 20, 0x76e01a73eb370c15),
+    (Arch::DmonI, AppId::Sor, 4, 20, 0x0841c74d63c2ba2c),
+    (Arch::DmonI, AppId::Radix, 4, 20, 0xdbd2cef613b1ba98),
+    // Two full-size cells: the paper's 16-node base machine.
+    (Arch::NetCache, AppId::Sor, 16, 50, 0x3be25979e58f09bd),
+    (Arch::DmonU, AppId::Gauss, 16, 50, 0x9b4cb65db4007f37),
+];
+
+fn digest_cell(arch: Arch, app: AppId, nodes: usize, scale_pm: u32) -> u64 {
+    let cfg = SysConfig::base(arch).with_nodes(nodes);
+    let wl = Workload::new(app, nodes).scale(scale_pm as f64 / 1000.0);
+    run_app(&cfg, &wl).digest()
+}
+
+#[test]
+fn golden_grid_reproduces_bit_for_bit() {
+    let mut bad = Vec::new();
+    for &(arch, app, nodes, scale_pm, want) in GOLDEN {
+        let got = digest_cell(arch, app, nodes, scale_pm);
+        if got != want {
+            bad.push(format!(
+                "{:?}/{}/n{}/s{}: expected {:#018x}, got {:#018x}",
+                arch,
+                app.name(),
+                nodes,
+                scale_pm,
+                want,
+                got
+            ));
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "golden RunReport digests diverged (event order or model changed):\n{}",
+        bad.join("\n")
+    );
+}
+
+/// Prints the table body with fresh digests. Run with `--ignored` after an
+/// *intentional* model change, and paste the output over `GOLDEN`.
+#[test]
+#[ignore]
+fn regen() {
+    for &(arch, app, nodes, scale_pm, _) in GOLDEN {
+        let d = digest_cell(arch, app, nodes, scale_pm);
+        println!(
+            "    (Arch::{:?}, AppId::{:?}, {}, {}, {:#018x}),",
+            arch, app, nodes, scale_pm, d
+        );
+    }
+}

@@ -282,10 +282,7 @@ fn machine_terminates_and_accounts_time() {
         let wl = arb_workload(rng, 4);
         let arch = Arch::ALL[rng.below(4) as usize];
         let cfg = SysConfig::base(arch).with_nodes(4);
-        let streams: Vec<OpStream> = wl
-            .into_iter()
-            .map(|ops| Box::new(ops.into_iter()) as OpStream)
-            .collect();
+        let streams: Vec<OpStream> = wl.into_iter().map(OpStream::from_ops).collect();
         let r = Machine::with_streams(&cfg, streams).run();
         assert!(r.cycles > 0);
         for n in &r.nodes {
@@ -303,7 +300,7 @@ fn machine_is_deterministic_on_random_workloads() {
         let mk = |wl: &Vec<Vec<Op>>| {
             let streams: Vec<OpStream> = wl
                 .iter()
-                .map(|ops| Box::new(ops.clone().into_iter()) as OpStream)
+                .map(|ops| OpStream::from_ops(ops.clone()))
                 .collect();
             Machine::with_streams(&cfg, streams).run()
         };
