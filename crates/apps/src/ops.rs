@@ -90,6 +90,42 @@ impl OpStream {
         }
         Self::from_source(IterSource(it))
     }
+
+    /// The remaining buffered run, without consuming it — refilling from
+    /// the [`OpSource`] first if the buffer is drained. The simulator's
+    /// event-elision fast path peeks a run, executes the leading prefix of
+    /// private ops inline, and [`consume`](Self::consume)s exactly what it
+    /// retired; the first non-elidable op stays in the stream for the
+    /// general path. Returns an empty slice only when the stream has ended.
+    #[inline]
+    pub fn peek_run(&mut self) -> &[Op] {
+        while self.pos >= self.buf.len() {
+            match self.source.as_mut().and_then(|s| s.next_chunk()) {
+                Some(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                None => {
+                    self.source = None;
+                    self.buf.clear();
+                    self.pos = 0;
+                    break;
+                }
+            }
+        }
+        &self.buf[self.pos..]
+    }
+
+    /// Consumes the first `n` ops of the run last returned by
+    /// [`peek_run`](Self::peek_run).
+    ///
+    /// # Panics
+    /// In debug builds, if `n` exceeds the buffered run length.
+    #[inline]
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(self.pos + n <= self.buf.len(), "consumed past peeked run");
+        self.pos += n;
+    }
 }
 
 impl Iterator for OpStream {
@@ -174,6 +210,50 @@ mod tests {
         assert_eq!(s.next(), Some(Op::Compute(1)));
         assert_eq!(s.next(), None);
         assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn peek_run_then_consume_matches_next() {
+        // Interleaving peeks, partial consumes, and next() must walk the
+        // stream in order exactly once, across chunk boundaries.
+        let ops: Vec<Op> = (0..3000u64).map(|i| Op::Read(i * 64)).collect();
+        let mut peeked = OpStream::lazy(ops.clone().into_iter());
+        let mut got = Vec::new();
+        loop {
+            let run = peeked.peek_run();
+            if run.is_empty() {
+                break;
+            }
+            let take = (run.len() / 2).max(1);
+            got.extend_from_slice(&run[..take]);
+            peeked.consume(take);
+            if let Some(op) = peeked.next() {
+                got.push(op);
+            }
+        }
+        assert_eq!(got, ops);
+        // Exhausted: peek stays empty, next stays None.
+        assert!(peeked.peek_run().is_empty());
+        assert_eq!(peeked.next(), None);
+    }
+
+    #[test]
+    fn peek_run_skips_empty_chunks() {
+        struct Gappy(u32);
+        impl OpSource for Gappy {
+            fn next_chunk(&mut self) -> Option<Vec<Op>> {
+                self.0 += 1;
+                match self.0 {
+                    1 => Some(Vec::new()),
+                    2 => Some(vec![Op::Compute(7)]),
+                    _ => None,
+                }
+            }
+        }
+        let mut s = OpStream::from_source(Gappy(0));
+        assert_eq!(s.peek_run(), &[Op::Compute(7)]);
+        s.consume(1);
+        assert!(s.peek_run().is_empty());
     }
 
     #[test]

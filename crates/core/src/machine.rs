@@ -23,7 +23,7 @@ use netcache_apps::{Op, OpStream, Workload};
 
 use crate::config::SysConfig;
 use crate::metrics::{NodeStats, RunReport};
-use crate::proto::{self, Node, Protocol, ReadKind};
+use crate::proto::{self, ElisionPolicy, Node, Protocol, ReadKind};
 
 /// Cap on how far a processor may run ahead within one event, to keep
 /// cross-processor resource contention honest.
@@ -122,6 +122,13 @@ pub struct Machine {
     /// Per processor: a WbKick event is already scheduled.
     kick_pending: Vec<bool>,
     live: usize,
+    /// Which op classes the protocol + geometry allow the elided fast
+    /// path to retire (see [`Machine::elide_run`]).
+    elide: ElisionPolicy,
+    /// Ops retired across all processors (any path).
+    ops_done: u64,
+    /// Ops retired inside elided runs.
+    elided: u64,
 }
 
 impl Machine {
@@ -214,18 +221,27 @@ impl Machine {
         for p in 0..n {
             queue.schedule(0, Event::Resume(p));
         }
+        let proto = proto::build(cfg, map);
+        let mut elide = proto.elision_policy();
+        // Read-hit probes skip the LRU/miss bookkeeping a canonical miss
+        // performs; that is unobservable only when replacement never has a
+        // choice, i.e. both private caches are direct-mapped.
+        elide.private_read_hits &= cfg.l1.assoc == 1 && cfg.l2.assoc == 1;
         Self {
             cfg: *cfg,
             map,
             queue,
             procs,
             nodes: (0..cfg.nodes).map(|_| Node::new(cfg)).collect(),
-            proto: proto::build(cfg, map),
+            proto,
             locks: Vec::new(),
             barriers: Vec::new(),
             stats: vec![NodeStats::default(); n],
             kick_pending: vec![false; n],
             live: n,
+            elide,
+            ops_done: 0,
+            elided: 0,
         }
     }
 
@@ -284,6 +300,8 @@ impl Machine {
             proto: *self.proto.counters(),
             ring: self.proto.ring_stats().copied(),
             events: self.queue.scheduled_total(),
+            ops: self.ops_done,
+            elided_ops: self.elided,
             channels: self.proto.channel_report(),
             memories,
             wall_ns,
@@ -330,8 +348,7 @@ impl Machine {
             Stall::Sync => self.stats[w].sync_stall += waited,
         }
         self.procs[w].state = ProcState::Running;
-        self.queue
-            .schedule(t.max(self.queue.now()), Event::Resume(w));
+        self.schedule_resume(w, t);
     }
 
     /// Kicks the retirement process if idle and work exists.
@@ -354,8 +371,7 @@ impl Machine {
             let (applied, _) = self.nodes[p].mem.apply_update(t + 1, entry.words());
             applied
         };
-        self.queue
-            .schedule(ack_at.max(self.queue.now()), Event::WbAck(p));
+        Self::schedule_clamped(&mut self.queue, ack_at, Event::WbAck(p));
     }
 
     /// An update ack arrived: retire the next entry or complete a drain.
@@ -416,15 +432,135 @@ impl Machine {
         done
     }
 
+    /// Fast-forwards a run of elision-safe ops inline: compute, reads
+    /// that hit node-private state (L1, L2, write-buffer forward), and
+    /// write-buffer pushes that cannot stall. These ops touch no shared
+    /// resource, so executing them back to back inside the current event
+    /// — instead of once per trip around `run_proc`'s general loop — is
+    /// invisible to the rest of the machine: the per-op state mutations,
+    /// stats, local-time advance, and any WbKick scheduling are replicated
+    /// exactly (see DESIGN.md, "Event elision"). Stops at the first op
+    /// that may block, miss, or synchronize, leaving it unconsumed for the
+    /// general path, or when `now` passes `deadline` (the slice cap).
+    ///
+    /// `read_hit` probes mutate nothing on a miss, so bailing to the
+    /// general path leaves the caches bit-identical to never having
+    /// probed; on a hit they perform exactly the mutations `read` would.
+    fn elide_run(&mut self, p: usize, now: &mut Time, deadline: Time) {
+        let Machine {
+            procs,
+            nodes,
+            stats,
+            queue,
+            kick_pending,
+            map,
+            cfg,
+            elide,
+            ops_done,
+            elided,
+            ..
+        } = self;
+        let proc = &mut procs[p];
+        let node = &mut nodes[p];
+        let st = &mut stats[p];
+        let pace = proc.pace;
+        let l2_lat = cfg.l2_hit_latency;
+        // No retirement can start inside this loop: a WbKick only fires
+        // from the event queue, which we are not touching.
+        let retiring = proc.retiring;
+        let ElisionPolicy {
+            compute,
+            private_read_hits,
+            wb_pushes,
+        } = *elide;
+        let run = proc.stream.peek_run();
+        let mut taken = 0usize;
+        for &op in run {
+            match op {
+                Op::Compute(n) if compute => {
+                    let scaled = (n as Time * pace).div_ceil(100);
+                    *now += scaled;
+                    st.busy += scaled;
+                }
+                Op::Read(addr) if private_read_hits => {
+                    if node.l1.read_hit(addr) {
+                        st.reads += 1;
+                        st.l1_hits += 1;
+                        st.busy += 1;
+                        *now += 1;
+                    } else if node.l2.read_hit(addr) {
+                        st.reads += 1;
+                        st.l2_hits += 1;
+                        node.l1.fill(addr, false);
+                        st.busy += 1;
+                        st.read_stall += l2_lat - 1;
+                        *now += l2_lat;
+                    } else if node.wb.holds_block(map.block_of(addr)) {
+                        st.reads += 1;
+                        st.wb_forwards += 1;
+                        st.busy += 1;
+                        st.read_stall += 1;
+                        *now += 2;
+                    } else {
+                        // Private miss: the general path owns the
+                        // run-ahead resync and the protocol transaction.
+                        break;
+                    }
+                }
+                Op::Write(addr) if wb_pushes => {
+                    let block = map.block_of(addr);
+                    if node.wb.is_full() && !node.wb.holds_block(block) {
+                        // Would stall; the general path pushes (counting
+                        // the full event exactly once) and blocks.
+                        break;
+                    }
+                    let out =
+                        node.wb
+                            .push(block, addr, map.word_in_block(addr), map.is_shared(addr));
+                    debug_assert!(!matches!(out, PushOutcome::Full));
+                    *now += 1;
+                    st.busy += 1;
+                    st.writes += 1;
+                    node.l1.write_update(addr, false);
+                    node.l2.write_update(addr, false);
+                    if !retiring && !kick_pending[p] {
+                        kick_pending[p] = true;
+                        Self::schedule_clamped(queue, *now, Event::WbKick(p));
+                    }
+                }
+                // Sync ops (and any class the policy rejects): general path.
+                _ => break,
+            }
+            taken += 1;
+            if *now > deadline {
+                break;
+            }
+        }
+        proc.stream.consume(taken);
+        *ops_done += taken as u64;
+        *elided += taken as u64;
+    }
+
     /// The processor execution loop: runs ops until blocking or done.
     fn run_proc(&mut self, p: usize) {
         let start = self.queue.now();
         let mut now = start;
+        let deadline = start + SLICE;
         loop {
+            if self.procs[p].pending.is_none() {
+                self.elide_run(p, &mut now, deadline);
+                if now > deadline {
+                    self.schedule_resume(p, now);
+                    return;
+                }
+            }
             let op = match self.procs[p].pending.take() {
                 Some(op) => op,
                 None => match self.procs[p].stream.next() {
-                    Some(op) => op,
+                    Some(op) => {
+                        self.ops_done += 1;
+                        op
+                    }
                     None => {
                         self.procs[p].state = ProcState::Done;
                         self.stats[p].finish = now;
@@ -490,8 +626,7 @@ impl Machine {
                             self.nodes[p].l2.write_update(addr, false);
                             if !self.procs[p].retiring && !self.kick_pending[p] {
                                 self.kick_pending[p] = true;
-                                self.queue
-                                    .schedule(now.max(self.queue.now()), Event::WbKick(p));
+                                Self::schedule_clamped(&mut self.queue, now, Event::WbKick(p));
                             }
                         }
                     }
@@ -591,7 +726,7 @@ impl Machine {
                     }
                 }
             }
-            if now > start + SLICE {
+            if now > deadline {
                 self.schedule_resume(p, now);
                 return;
             }
@@ -610,10 +745,21 @@ impl Machine {
         }
     }
 
+    /// Schedules `ev` at `at`, clamped to the global clock. Handlers
+    /// compute wake-up times in processor-*local* time, which can trail
+    /// the global clock when the processor blocked while running ahead of
+    /// it; the queue itself must never be handed a timestamp in the past.
+    /// Every `schedule` call in the machine goes through here.
+    #[inline]
+    fn schedule_clamped(queue: &mut EventQueue<Event>, at: Time, ev: Event) {
+        let t = at.max(queue.now());
+        debug_assert!(t >= queue.now(), "event scheduled in the past");
+        queue.schedule(t, ev);
+    }
+
     #[inline]
     fn schedule_resume(&mut self, p: usize, at: Time) {
-        self.queue
-            .schedule(at.max(self.queue.now()), Event::Resume(p));
+        Self::schedule_clamped(&mut self.queue, at, Event::Resume(p));
     }
 }
 

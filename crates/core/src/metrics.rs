@@ -80,6 +80,14 @@ pub struct RunReport {
     pub ring: Option<RingStats>,
     /// Events processed (simulator health metric).
     pub events: u64,
+    /// Operations retired across all processors (compute, reads, writes,
+    /// sync). Fixed by the workload — identical whether ops retire through
+    /// the elided fast path or event-by-event.
+    pub ops: u64,
+    /// Operations retired inside elided runs (inline, without a per-op
+    /// protocol or event-queue round trip). `elided_ops / ops` is the
+    /// fast-path coverage; the remainder took the general path.
+    pub elided_ops: u64,
     /// Per-channel diagnostics: `(name, served, busy, mean wait)`.
     pub channels: Vec<(String, u64, u64, f64)>,
     /// Per-memory-module `(reads, busy cycles, mean queue wait)`.
@@ -99,6 +107,8 @@ impl PartialEq for RunReport {
             && self.proto == other.proto
             && self.ring == other.ring
             && self.events == other.events
+            && self.ops == other.ops
+            && self.elided_ops == other.elided_ops
             && self.channels == other.channels
             && self.memories == other.memories
     }
@@ -112,6 +122,18 @@ impl RunReport {
             0.0
         } else {
             self.events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Engine throughput in retired operations per wall-clock second. The
+    /// op count is workload-determined (unlike the event count, which an
+    /// engine revision may legitimately change), so this is the metric the
+    /// perf-regression gate normalizes on.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.wall_ns as f64
         }
     }
 
@@ -197,7 +219,10 @@ impl RunReport {
     /// the same configuration must produce the same digest on any host and
     /// any engine revision; host-dependent measurements (wall time,
     /// events/sec) are deliberately excluded, exactly as they are from
-    /// `PartialEq`.
+    /// `PartialEq`. `ops`/`elided_ops` are also excluded: they are
+    /// throughput diagnostics (how work retired, not what it computed), and
+    /// hashing them would invalidate every pinned golden constant each time
+    /// fast-path coverage changes.
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -307,6 +332,8 @@ mod tests {
             proto: ProtoCounters::default(),
             ring: None,
             events: 0,
+            ops: 0,
+            elided_ops: 0,
             channels: Vec::new(),
             memories: Vec::new(),
             wall_ns: 0,

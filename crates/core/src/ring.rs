@@ -83,6 +83,12 @@ pub struct RingStats {
     pub updates_applied: u64,
     /// Reads delayed by the §3.4 update window.
     pub window_delays: u64,
+    /// Live orphaned windows shed because the orphan buffer hit its hard
+    /// cap. Dropping one weakens the §3.4 bound for that block, so this
+    /// must stay 0 in any run whose numbers are trusted (the golden grid
+    /// asserts it; the sweep logs it). Excluded from the report digest —
+    /// it is an engine-health diagnostic, not model state.
+    pub orphans_dropped: u64,
 }
 
 impl RingStats {
@@ -153,10 +159,15 @@ impl RingCache {
         }
     }
 
-    /// The ring line holding a coherence block.
+    /// The ring line holding a coherence block. At the base geometry the
+    /// line *is* the block; skip the division on that (hot) path.
     #[inline]
     fn line_of(&self, block: BlockAddr) -> BlockAddr {
-        block / self.blocks_per_line
+        if self.blocks_per_line == 1 {
+            block
+        } else {
+            block / self.blocks_per_line
+        }
     }
 
     /// The geometry in force.
@@ -331,13 +342,33 @@ impl RingCache {
         at
     }
 
+    /// Orphan-buffer hard cap. Compaction keeps the buffer near the
+    /// racing-eviction scale (tests see ≤ 17 live entries); the cap is a
+    /// guarantee, not a tuning knob, sized well above anything a real run
+    /// produces.
+    const ORPHAN_CAP: usize = 64;
+
     /// Parks an eviction-orphaned window. Dead entries (expiry in the
     /// past) are compacted away opportunistically, so the buffer tracks
     /// only windows still open *right now* — at most one per racing block,
-    /// all expiring within `window_len` cycles.
+    /// all expiring within `window_len` cycles. If compaction cannot get
+    /// under [`Self::ORPHAN_CAP`] (every entry live), the soonest-expiring
+    /// window is shed and counted in `orphans_dropped`: the buffer is
+    /// *bounded*, and any accuracy loss is visible in the stats.
     fn push_orphan(&mut self, line: BlockAddr, exp: Time, now: Time) {
         if self.orphans.len() >= 16 {
             self.orphans.retain(|&(_, e)| e > now);
+        }
+        if self.orphans.len() >= Self::ORPHAN_CAP {
+            let i = self
+                .orphans
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(_, e))| e)
+                .map(|(i, _)| i)
+                .expect("cap > 0");
+            self.orphans.swap_remove(i);
+            self.stats.orphans_dropped += 1;
         }
         self.orphans.push((line, exp));
     }
@@ -602,6 +633,26 @@ mod tests {
         assert!(
             r.orphans.len() <= 17,
             "orphan buffer grew to {}",
+            r.orphans.len()
+        );
+    }
+
+    #[test]
+    fn orphan_overflow_drops_soonest_expiring_and_counts() {
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        // 70 distinct channel-0 blocks, each updated at insert time, all
+        // within one window length (80 cycles here): the 66 evictions all
+        // orphan a *live* window, so compaction sheds nothing and the hard
+        // cap must act.
+        for i in 0u64..70 {
+            let b = i * 16;
+            r.insert(b, 0, i);
+            r.apply_update(b, i);
+        }
+        assert!(r.orphans.len() <= RingCache::ORPHAN_CAP);
+        assert!(
+            r.stats().orphans_dropped > 0,
+            "cap never engaged: {} orphans",
             r.orphans.len()
         );
     }

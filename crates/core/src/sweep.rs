@@ -414,15 +414,18 @@ impl SweepResult {
 
     /// CSV emission: one header line plus one row per cell.
     pub fn to_csv(&self) -> String {
+        // Engine-health diagnostics (ops_per_sec, elided_ops,
+        // orphans_dropped) ride as trailing columns so consumers slicing
+        // the original prefix (`cut -f1-14` etc.) keep working.
         let mut out = String::from(
             "label,arch,app,nodes,scale,cycles,events,reads,l1_hit_rate,l2_hit_rate,\
              shared_hit_rate,read_stall_frac,sync_frac,avg_shared_read_latency,wall_ms,\
-             events_per_sec\n",
+             events_per_sec,ops_per_sec,elided_ops,orphans_dropped\n",
         );
         for r in &self.runs {
             let rep = &r.report;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.0}\n",
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.0},{:.0},{},{}\n",
                 r.label,
                 r.arch,
                 r.app.name(),
@@ -439,6 +442,9 @@ impl SweepResult {
                 rep.avg_shared_read_latency(),
                 r.wall.as_secs_f64() * 1e3,
                 rep.events_per_sec(),
+                rep.ops_per_sec(),
+                rep.elided_ops,
+                rep.ring.map(|g| g.orphans_dropped).unwrap_or(0),
             ));
         }
         out
@@ -457,7 +463,9 @@ impl SweepResult {
                  \"reads\": {}, \"l1_hit_rate\": {:.6}, \"l2_hit_rate\": {:.6}, \
                  \"shared_hit_rate\": {:.6}, \"read_stall_frac\": {:.6}, \
                  \"sync_frac\": {:.6}, \"avg_shared_read_latency\": {:.3}, \
-                 \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{comma}\n",
+                 \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
+                 \"ops_per_sec\": {:.0}, \"elided_ops\": {}, \
+                 \"orphans_dropped\": {}}}{comma}\n",
                 r.label,
                 r.arch,
                 r.app.name(),
@@ -474,6 +482,9 @@ impl SweepResult {
                 rep.avg_shared_read_latency(),
                 r.wall.as_secs_f64() * 1e3,
                 rep.events_per_sec(),
+                rep.ops_per_sec(),
+                rep.elided_ops,
+                rep.ring.map(|g| g.orphans_dropped).unwrap_or(0),
             ));
         }
         out.push_str(&format!(
@@ -742,17 +753,20 @@ mod tests {
         let csv = res.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("label,arch,app,"));
-        // events_per_sec rides as the LAST column so consumers slicing
-        // the stable prefix (cut -f1-14) stay valid.
+        // Engine diagnostics ride as TRAILING columns so consumers
+        // slicing the stable prefix (cut -f1-14) stay valid.
         assert!(csv
             .lines()
             .next()
             .unwrap()
-            .ends_with("wall_ms,events_per_sec"));
+            .ends_with("wall_ms,events_per_sec,ops_per_sec,elided_ops,orphans_dropped"));
         let json = res.to_json();
         assert!(json.contains("\"app\": \"fft\""));
         assert!(json.contains("\"jobs\": 1"));
         assert!(json.contains("\"events_per_sec\": "));
+        assert!(json.contains("\"ops_per_sec\": "));
+        assert!(json.contains("\"elided_ops\": "));
+        assert!(json.contains("\"orphans_dropped\": 0"));
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl AddressMap {
     /// The block number containing `a`.
     #[inline]
     pub fn block_of(&self, a: Addr) -> BlockAddr {
-        a / self.block_bytes
+        // block_bytes is asserted a power of two; this sits on the
+        // simulator's per-reference path, so shift instead of dividing.
+        a >> self.block_bytes.trailing_zeros()
     }
 
     /// First byte address of block `b`.
@@ -81,7 +83,7 @@ impl AddressMap {
     /// The word index of `a` within its block.
     #[inline]
     pub fn word_in_block(&self, a: Addr) -> WordIdx {
-        ((a % self.block_bytes) / WORD_BYTES) as WordIdx
+        ((a & (self.block_bytes - 1)) / WORD_BYTES) as WordIdx
     }
 
     /// Number of words per block.

@@ -77,6 +77,11 @@ pub struct Cache {
     cfg: CacheCfg,
     sets: usize,
     ways: usize,
+    // Probe-path constants, precomputed once at construction: the elided
+    // fast path probes a cache up to four times per op, so even the
+    // trailing_zeros/is_power_of_two recomputation is worth hoisting.
+    blk_shift: u32,
+    set_mask: u64, // == sets-1 iff sets is a power of two, else u64::MAX
     lines: Vec<Line>,
     clock: u64,
     // statistics
@@ -95,10 +100,17 @@ impl Cache {
             lines.is_multiple_of(ways),
             "lines must divide into whole sets"
         );
+        let sets = lines / ways;
         Self {
             cfg,
-            sets: lines / ways,
+            sets,
             ways,
+            blk_shift: cfg.block_bytes.trailing_zeros(),
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                u64::MAX
+            },
             lines: vec![Line::default(); lines],
             clock: 0,
             hits: 0,
@@ -113,12 +125,18 @@ impl Cache {
 
     #[inline]
     fn block_of(&self, a: Addr) -> BlockAddr {
-        a / self.cfg.block_bytes
+        // block_bytes is asserted to be a power of two: shift, don't
+        // divide (probes sit on the simulator's per-operation path).
+        a >> self.blk_shift
     }
 
     #[inline]
     fn set_of(&self, b: BlockAddr) -> usize {
-        (b % self.sets as u64) as usize
+        if self.set_mask != u64::MAX {
+            (b & self.set_mask) as usize
+        } else {
+            (b % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -142,6 +160,26 @@ impl Cache {
         }
         self.misses += 1;
         ReadOutcome::Miss
+    }
+
+    /// Hit-only read probe: on a hit, performs exactly the state changes
+    /// of [`Cache::read`] (LRU clock tick, stamp refresh, hit counter);
+    /// on a miss, touches *nothing* — no miss count, no clock tick. The
+    /// engine's elided fast path probes with this and bails out on a miss
+    /// with the cache bit-identical to never having probed, leaving the
+    /// canonical miss sequence to the slow path's `read()`.
+    #[inline]
+    pub fn read_hit(&mut self, a: Addr) -> bool {
+        let b = self.block_of(a);
+        for i in self.set_range(b) {
+            if self.lines[i].valid && self.lines[i].tag == b {
+                self.clock += 1;
+                self.lines[i].stamp = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Non-destructive presence check (no LRU or counter update).
@@ -389,6 +427,25 @@ mod tests {
         let c = Cache::new(CacheCfg::direct(4 * 1024, 32));
         assert_eq!(c.cfg().lines(), 128);
         assert_eq!(c.cfg().sets(), 128);
+    }
+
+    #[test]
+    fn read_hit_probe_matches_read_on_hits_and_is_pure_on_misses() {
+        let mut probed = dm_cache();
+        let mut read = dm_cache();
+        probed.fill(0, false);
+        read.fill(0, false);
+        // Hit: identical state changes to read().
+        assert!(probed.read_hit(32));
+        assert_eq!(read.read(32), ReadOutcome::Hit);
+        assert_eq!(probed.hits(), read.hits());
+        // Miss: read_hit touches nothing (no miss count, no clock tick),
+        // so the later canonical read() sees a never-probed cache.
+        assert!(!probed.read_hit(256));
+        assert_eq!(probed.misses(), 0);
+        assert_eq!(read.read(256), ReadOutcome::Miss);
+        probed.read(256);
+        assert_eq!(probed.misses(), read.misses());
     }
 
     #[test]

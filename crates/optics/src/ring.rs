@@ -121,7 +121,37 @@ impl RingGeometry {
     /// The frame on `channel` that next passes node `n` after `now` — the
     /// paper's replacement victim ("the block contained in the next shared
     /// cache line to pass through the node").
+    ///
+    /// This sits on the miss path of every NetCache insertion, so when the
+    /// frames divide the roundtrip evenly (every paper geometry does) the
+    /// answer is computed arithmetically instead of scanning the channel:
+    /// in node-local phase `c`, frame boundaries sit at multiples of the
+    /// frame spacing, so the next boundary is the smallest multiple
+    /// `m·spacing ≥ c` and the victim is frame `m-1` (frame `fpc-1` wraps
+    /// to phase 0). Boundary phases are distinct, so no tie-break is
+    /// needed; [`Self::next_frame_scan`] remains as the fallback for
+    /// irregular geometries and as the differential-test oracle.
     pub fn next_frame_at(&self, channel: usize, node: usize, now: Time) -> (RingSlot, Time) {
+        let r = self.roundtrip;
+        let sp = self.frame_spacing();
+        let fpc = self.frames_per_channel as u64;
+        if sp > 0 && sp * fpc == r {
+            let c = (now % r + r - self.node_offset(node)) % r;
+            return if c == 0 {
+                let frame = self.frames_per_channel - 1;
+                (RingSlot { channel, frame }, now)
+            } else {
+                let m = c.div_ceil(sp);
+                let frame = (m - 1) as usize;
+                (RingSlot { channel, frame }, now + m * sp - c)
+            };
+        }
+        self.next_frame_scan(channel, node, now)
+    }
+
+    /// Scan-based `next_frame_at`: checks every frame's boundary time and
+    /// keeps the soonest (first wins on a tie).
+    fn next_frame_scan(&self, channel: usize, node: usize, now: Time) -> (RingSlot, Time) {
         let mut best: Option<(RingSlot, Time)> = None;
         for frame in 0..self.frames_per_channel {
             let slot = RingSlot { channel, frame };
@@ -248,6 +278,31 @@ mod tests {
         let (slot, t) = g.next_frame_at(0, 0, 31);
         assert_eq!(slot.frame, 3);
         assert_eq!(t, 40);
+    }
+
+    #[test]
+    fn next_frame_closed_form_matches_scan() {
+        // The arithmetic fast path must agree with the exhaustive scan at
+        // every clock phase, node, and frame count — including fpc = 3,
+        // where the spacing does not divide the roundtrip and the closed
+        // form must defer to the scan.
+        for nodes in [4usize, 16] {
+            for fpc in [1usize, 2, 3, 4, 8] {
+                let g = RingGeometry {
+                    frames_per_channel: fpc,
+                    ..RingGeometry::base(nodes)
+                };
+                for node in 0..nodes {
+                    for now in 0..(2 * g.roundtrip + 3) {
+                        assert_eq!(
+                            g.next_frame_at(0, node, now),
+                            g.next_frame_scan(0, node, now),
+                            "fpc {fpc} node {node} now {now}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
 //! netcache profile <app> [--scale S] [--procs P]       # stream statistics
 //! netcache bench-engine [--json F] [--procs P] [--scale S]  # engine events/sec
+//! netcache bench-compare --baseline F [--tolerance T]  # perf-regression gate
 //! ```
 //!
 //! Architectures: `netcache` (default), `lambdanet`, `dmon-u`, `dmon-i`.
@@ -25,7 +26,7 @@ use std::process::exit;
 
 use netcache::apps::{trace, AppId, OpStream, Workload};
 use netcache::mem::AddressMap;
-use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepSpec};
+use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepResult, SweepSpec};
 use netcache::{run_app, Arch, Machine, SysConfig};
 
 struct Args {
@@ -41,14 +42,17 @@ struct Args {
     csv: Option<String>,
     serial: bool,
     quiet: bool,
+    baseline: Option<String>,
+    tolerance: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netcache <run|compare|sweep|trace|replay|profile|bench-engine> ... \
+        "usage: netcache <run|compare|sweep|trace|replay|profile|bench-engine|bench-compare> ... \
          [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
-         [--json FILE] [--csv FILE] [--serial] [--quiet]"
+         [--json FILE] [--csv FILE] [--serial] [--quiet]\n\
+         bench-compare flags: --baseline FILE [--tolerance T]"
     );
     exit(2)
 }
@@ -80,6 +84,8 @@ fn parse_args() -> Args {
         csv: None,
         serial: false,
         quiet: false,
+        baseline: None,
+        tolerance: 0.15,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -123,6 +129,10 @@ fn parse_args() -> Args {
             "--csv" => args.csv = Some(grab("--csv")),
             "--serial" => args.serial = true,
             "--quiet" => args.quiet = true,
+            "--baseline" => args.baseline = Some(grab("--baseline")),
+            "--tolerance" => {
+                args.tolerance = grab("--tolerance").parse().unwrap_or_else(|_| usage());
+            }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
                 usage()
@@ -153,6 +163,109 @@ fn config(args: &Args) -> SysConfig {
         cfg = cfg.with_ring_kb(kb);
     }
     cfg
+}
+
+/// The serial engine-throughput grid (one arch × all twelve apps) shared
+/// by `bench-engine` and `bench-compare`. Serial so cell timings don't
+/// contend for cores; events/sec uses each report's own event-loop wall
+/// time (`wall_ns`), which excludes machine construction but includes
+/// lazy op generation — the engine's real steady-state cost.
+fn engine_grid(args: &Args) -> SweepResult {
+    SweepSpec::new()
+        .archs([args.arch])
+        .all_apps()
+        .nodes([args.procs])
+        .scale(args.scale)
+        .build()
+        .run_serial()
+}
+
+/// Grid-wide engine-throughput aggregates.
+struct EngineAgg {
+    events: u64,
+    ops: u64,
+    elided: u64,
+    sim_ns: u64,
+}
+
+impl EngineAgg {
+    fn of(result: &SweepResult) -> Self {
+        let mut agg = EngineAgg {
+            events: 0,
+            ops: 0,
+            elided: 0,
+            sim_ns: 0,
+        };
+        for r in &result.runs {
+            agg.events += r.report.events;
+            agg.ops += r.report.ops;
+            agg.elided += r.report.elided_ops;
+            agg.sim_ns += r.report.wall_ns;
+        }
+        agg
+    }
+
+    fn engine_s(&self) -> f64 {
+        self.sim_ns as f64 / 1e9
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.engine_s()
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.engine_s()
+    }
+}
+
+/// Extracts the *last* `"key": <number>` in `s`. The bench JSON emits its
+/// top-level summary after the `cells`/`history` arrays, so the last
+/// occurrence of a summary key is the top-level value — which also makes
+/// this read pre-`history` baseline files correctly.
+fn json_num(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = s.rfind(&pat)? + pat.len();
+    let rest = s[i..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .map(|(j, _)| j)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Collects the history entries a refreshed bench file should carry: the
+/// previous file's own `history` entries plus its top-level summary as the
+/// newest entry. Entries are one-line JSON objects, re-emitted verbatim.
+fn history_entries(prev: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(start) = prev.find("\"history\": [") {
+        let inner = &prev[start + "\"history\": [".len()..];
+        if let Some(end) = inner.find(']') {
+            for line in inner[..end].lines() {
+                let t = line.trim().trim_end_matches(',');
+                if t.starts_with('{') {
+                    out.push(t.to_string());
+                }
+            }
+        }
+    }
+    if let (Some(ev), Some(es), Some(eps)) = (
+        json_num(prev, "total_events"),
+        json_num(prev, "engine_s"),
+        json_num(prev, "events_per_sec"),
+    ) {
+        let mut e = format!(
+            "{{\"total_events\": {}, \"engine_s\": {es:.3}, \"events_per_sec\": {eps:.0}",
+            ev as u64
+        );
+        if let Some(o) = json_num(prev, "ops_per_sec") {
+            e.push_str(&format!(", \"ops_per_sec\": {o:.0}"));
+        }
+        e.push('}');
+        out.push(e);
+    }
+    out
 }
 
 fn main() {
@@ -316,47 +429,46 @@ fn main() {
         }
         "bench-engine" => {
             // Engine throughput harness: the Fig. 6-style NetCache row
-            // (all twelve apps, one arch, fixed node count) run serially
-            // so cell timings don't contend for cores. Events/sec uses
-            // each report's own event-loop wall time (`wall_ns`), which
-            // excludes machine construction but includes lazy op
-            // generation — the engine's real steady-state cost.
-            let sweep = SweepSpec::new()
-                .archs([args.arch])
-                .all_apps()
-                .nodes([args.procs])
-                .scale(args.scale)
-                .build();
-            let result = sweep.run_serial();
+            // (all twelve apps, one arch, fixed node count); see
+            // `engine_grid` for the measurement discipline.
+            let result = engine_grid(&args);
             println!(
-                "{:<32} {:>12} {:>10} {:>14}",
-                "cell", "events", "wall ms", "events/sec"
+                "{:<32} {:>12} {:>10} {:>14} {:>14} {:>8}",
+                "cell", "events", "wall ms", "events/sec", "ops/sec", "elided%"
             );
-            let mut total_events = 0u64;
-            let mut total_sim_ns = 0u64;
             for r in &result.runs {
-                total_events += r.report.events;
-                total_sim_ns += r.report.wall_ns;
                 println!(
-                    "{:<32} {:>12} {:>10.1} {:>14.0}",
+                    "{:<32} {:>12} {:>10.1} {:>14.0} {:>14.0} {:>7.1}%",
                     r.label,
                     r.report.events,
                     r.report.wall_ns as f64 / 1e6,
-                    r.report.events_per_sec()
+                    r.report.events_per_sec(),
+                    r.report.ops_per_sec(),
+                    100.0 * r.report.elided_ops as f64 / r.report.ops.max(1) as f64,
                 );
             }
-            let agg_eps = total_events as f64 / (total_sim_ns as f64 / 1e9);
+            let agg = EngineAgg::of(&result);
             println!(
-                "\ntotal: {} events in {:.2} s engine time ({:.2} s sweep wall): {:.0} events/sec",
-                total_events,
-                total_sim_ns as f64 / 1e9,
+                "\ntotal: {} events / {} ops ({:.1}% elided) in {:.2} s engine time \
+                 ({:.2} s sweep wall): {:.0} events/sec, {:.0} ops/sec",
+                agg.events,
+                agg.ops,
+                100.0 * agg.elided as f64 / agg.ops.max(1) as f64,
+                agg.engine_s(),
                 result.wall.as_secs_f64(),
-                agg_eps
+                agg.events_per_sec(),
+                agg.ops_per_sec(),
             );
             let path = args
                 .json
                 .clone()
                 .unwrap_or_else(|| "BENCH_engine.json".into());
+            // The outgoing file's summary is preserved as the newest entry
+            // of the refreshed file's `history`, so the committed bench
+            // carries its own trajectory across engine revisions.
+            let history = std::fs::read_to_string(&path)
+                .map(|prev| history_entries(&prev))
+                .unwrap_or_default();
             let mut json = format!(
                 "{{\n  \"bench\": \"engine\",\n  \"grid\": \"{} x {} apps, {} nodes, scale {}, serial\",\n  \"cells\": [\n",
                 args.arch.name(),
@@ -367,25 +479,98 @@ fn main() {
             for (i, r) in result.runs.iter().enumerate() {
                 let comma = if i + 1 < result.runs.len() { "," } else { "" };
                 json.push_str(&format!(
-                    "    {{\"label\": \"{}\", \"events\": {}, \"engine_ms\": {:.3}, \
-                     \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{comma}\n",
+                    "    {{\"label\": \"{}\", \"events\": {}, \"ops\": {}, \
+                     \"elided_ops\": {}, \"engine_ms\": {:.3}, \
+                     \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
+                     \"ops_per_sec\": {:.0}}}{comma}\n",
                     r.label,
                     r.report.events,
+                    r.report.ops,
+                    r.report.elided_ops,
                     r.report.wall_ns as f64 / 1e6,
                     r.wall.as_secs_f64() * 1e3,
-                    r.report.events_per_sec()
+                    r.report.events_per_sec(),
+                    r.report.ops_per_sec(),
                 ));
             }
+            // `history` precedes the summary keys: consumers (and
+            // `json_num`) take the LAST occurrence of a summary key as the
+            // file's own numbers.
+            json.push_str("  ],\n  \"history\": [\n");
+            for (i, h) in history.iter().enumerate() {
+                let comma = if i + 1 < history.len() { "," } else { "" };
+                json.push_str(&format!("    {h}{comma}\n"));
+            }
             json.push_str(&format!(
-                "  ],\n  \"total_events\": {},\n  \"engine_s\": {:.3},\n  \
-                 \"sweep_wall_s\": {:.3},\n  \"events_per_sec\": {:.0}\n}}\n",
-                total_events,
-                total_sim_ns as f64 / 1e9,
+                "  ],\n  \"total_events\": {},\n  \"total_ops\": {},\n  \
+                 \"elided_ops\": {},\n  \"engine_s\": {:.3},\n  \
+                 \"sweep_wall_s\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
+                 \"ops_per_sec\": {:.0}\n}}\n",
+                agg.events,
+                agg.ops,
+                agg.elided,
+                agg.engine_s(),
                 result.wall.as_secs_f64(),
-                agg_eps
+                agg.events_per_sec(),
+                agg.ops_per_sec(),
             ));
             std::fs::write(&path, json).expect("write bench json");
             println!("wrote {path}");
+        }
+        "bench-compare" => {
+            // Perf-regression gate: re-measure the engine grid and fail
+            // (exit 1) if throughput fell more than --tolerance below the
+            // baseline file's recorded events/sec.
+            let Some(baseline_path) = args.baseline.clone() else {
+                eprintln!("bench-compare requires --baseline FILE");
+                usage()
+            };
+            let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                exit(2)
+            });
+            let base_eps = json_num(&baseline, "events_per_sec").unwrap_or_else(|| {
+                eprintln!("baseline {baseline_path} has no events_per_sec");
+                exit(2)
+            });
+            let result = engine_grid(&args);
+            let agg = EngineAgg::of(&result);
+            let cur_eps = agg.events_per_sec();
+            println!(
+                "baseline: {:>12.0} events/sec ({})",
+                base_eps, baseline_path
+            );
+            if let Some(s) = json_num(&baseline, "engine_s") {
+                println!("          engine_s {s:.3}");
+            }
+            println!(
+                "current:  {:>12.0} events/sec (engine_s {:.3}, {:.0} ops/sec)",
+                cur_eps,
+                agg.engine_s(),
+                agg.ops_per_sec(),
+            );
+            let ratio = cur_eps / base_eps;
+            println!(
+                "ratio: {ratio:.3}x (tolerance: {:.0}% regression)",
+                100.0 * args.tolerance
+            );
+            if let Some(base_events) = json_num(&baseline, "total_events") {
+                if base_events as u64 != agg.events {
+                    println!(
+                        "note: event count changed ({} -> {}): model revision, \
+                         events/sec comparison is approximate",
+                        base_events as u64, agg.events
+                    );
+                }
+            }
+            if cur_eps < base_eps * (1.0 - args.tolerance) {
+                eprintln!(
+                    "REGRESSION: engine throughput fell {:.1}% below baseline",
+                    100.0 * (1.0 - ratio)
+                );
+                exit(1);
+            }
+            println!("OK: within tolerance");
         }
         "profile" => {
             let app = app_by_name(
