@@ -11,8 +11,8 @@
 //!
 //! Paper reuse class: **Moderate**.
 
-use crate::gen::{chunked, partition, stream_rng, Alloc, Chunk, ELEM8};
-use crate::ops::OpStream;
+use crate::gen::{chunked, partition, stream_rng, Alloc, ELEM8};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -67,18 +67,18 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(|me| {
             let rows = partition(n, procs, me);
-            chunked(move |iter| {
+            chunked(move |iter, c| {
                 if iter >= prm.iters {
-                    return None;
+                    return false;
                 }
                 // The sparsity pattern must be identical every iteration:
                 // re-seed per processor, not per phase.
                 let mut rng = stream_rng(seed, APP_TAG, me);
-                let mut c = Chunk::with_capacity(
-                    (rows.clone().count() as u64 * per_row * 4) as usize + 1024,
-                );
                 let bar = (iter as u32) * 4;
-                // q = A * p over my rows.
+                let (r0, nrows) = (rows.start, rows.end - rows.start);
+                // q = A * p over my rows. The p-gather jumps randomly, so
+                // the spmv stays scalar (the index/value streams ride
+                // along in program order).
                 for row in rows.clone() {
                     for j in 0..per_row {
                         let idx = row * per_row + j;
@@ -93,10 +93,12 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 c.barrier(bar);
                 // alpha = p . q (local partial sum, then lock-protected
                 // accumulation).
-                for row in rows.clone() {
-                    c.read(p_vec, row, ELEM8);
-                    c.read(q_vec, row, ELEM8);
-                    c.compute(2);
+                if nrows > 0 {
+                    let mut dot = Nest::new(nrows);
+                    dot.read(p_vec + r0 * ELEM8, ELEM8)
+                        .read(q_vec + r0 * ELEM8, ELEM8)
+                        .compute(2);
+                    c.nest(dot);
                 }
                 c.acquire(LOCK_ALPHA);
                 c.read(gsum, 0, ELEM8);
@@ -106,21 +108,24 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 c.barrier(bar + 1);
                 // z += alpha p ; r -= alpha q over my rows.
                 c.read(gsum, 0, ELEM8);
-                for row in rows.clone() {
-                    c.read(p_vec, row, ELEM8);
-                    c.read(z_vec, row, ELEM8);
-                    c.compute(2);
-                    c.write(z_vec, row, ELEM8);
-                    c.read(q_vec, row, ELEM8);
-                    c.read(r_vec, row, ELEM8);
-                    c.compute(2);
-                    c.write(r_vec, row, ELEM8);
+                if nrows > 0 {
+                    let mut axpy = Nest::new(nrows);
+                    axpy.read(p_vec + r0 * ELEM8, ELEM8)
+                        .read(z_vec + r0 * ELEM8, ELEM8)
+                        .compute(2)
+                        .write(z_vec + r0 * ELEM8, ELEM8)
+                        .read(q_vec + r0 * ELEM8, ELEM8)
+                        .read(r_vec + r0 * ELEM8, ELEM8)
+                        .compute(2)
+                        .write(r_vec + r0 * ELEM8, ELEM8);
+                    c.nest(axpy);
                 }
                 c.barrier(bar + 2);
                 // rho = r . r, then p = r + beta p.
-                for row in rows.clone() {
-                    c.read(r_vec, row, ELEM8);
-                    c.compute(2);
+                if nrows > 0 {
+                    let mut rho = Nest::new(nrows);
+                    rho.read(r_vec + r0 * ELEM8, ELEM8).compute(2);
+                    c.nest(rho);
                 }
                 c.acquire(LOCK_RHO);
                 c.read(gsum, 1, ELEM8);
@@ -129,13 +134,15 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 c.release(LOCK_RHO);
                 c.barrier(bar + 3);
                 c.read(gsum, 1, ELEM8);
-                for row in rows.clone() {
-                    c.read(r_vec, row, ELEM8);
-                    c.read(p_vec, row, ELEM8);
-                    c.compute(2);
-                    c.write(p_vec, row, ELEM8);
+                if nrows > 0 {
+                    let mut upd = Nest::new(nrows);
+                    upd.read(r_vec + r0 * ELEM8, ELEM8)
+                        .read(p_vec + r0 * ELEM8, ELEM8)
+                        .compute(2)
+                        .write(p_vec + r0 * ELEM8, ELEM8);
+                    c.nest(upd);
                 }
-                Some(c)
+                true
             })
         })
         .collect()

@@ -12,7 +12,7 @@
 //!
 //! Paper reuse class: **Low** (<32% shared-cache hit rate).
 
-use crate::gen::{chunked, partition, stream_rng, Alloc, Chunk, ELEM, ELEM8};
+use crate::gen::{chunked, partition, stream_rng, Alloc, ELEM, ELEM8};
 use crate::ops::OpStream;
 use crate::workload::Workload;
 use memsys::AddressMap;
@@ -75,15 +75,12 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
             let mine = partition(n, procs, me);
             // My own shared edge region.
             let edges = edge_regions[me];
-            chunked(move |iter| {
+            chunked(move |iter, c| {
                 if iter >= prm.iters {
-                    return None;
+                    return false;
                 }
                 // Graph structure must be identical across iterations.
                 let mut rng = stream_rng(seed, APP_TAG, me);
-                let mut c = Chunk::with_capacity(
-                    (2 * (mine.end - mine.start) * (prm.degree * 3 + 1)) as usize + 8,
-                );
                 let mut edge_cursor = 0u64;
                 // Phase 0: E nodes read H neighbors; phase 1: vice versa.
                 for (phase, (vals_mine, vals_other)) in
@@ -111,7 +108,7 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     }
                     c.barrier((iter * 2 + phase as u64) as u32);
                 }
-                Some(c)
+                true
             })
         })
         .collect()

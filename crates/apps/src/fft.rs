@@ -10,7 +10,7 @@
 //! three apps where NetCache ≈ LambdaNet).
 
 use crate::gen::{chunked, partition, Alloc, Chunk};
-use crate::ops::OpStream;
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::{Addr, AddressMap};
 
@@ -43,19 +43,31 @@ impl Params {
 }
 
 /// One local FFT pass structure over an owned row: log2(m) passes of
-/// butterfly read/write pairs.
+/// butterfly read/write pairs. The partner index `j = (i + stride) % m`
+/// wraps at most once per pass, so each pass is at most two affine nests
+/// (before and after the wrap point).
 fn row_fft(c: &mut Chunk, base: Addr, m: u64, row: u64) {
     let passes = 63 - m.leading_zeros() as u64; // log2(m)
+    let at = |i: u64| base + (row * m + i) * CPLX;
     for pass in 0..passes {
         let stride = 1u64 << pass;
-        let mut i = 0;
-        while i < m {
-            let j = (i + stride) % m;
-            c.read_at(base + (row * m + i) * CPLX);
-            c.read_at(base + (row * m + j) * CPLX);
-            c.compute(12); // complex butterfly: 10 FLOPs + twiddle index
-            c.write_at(base + (row * m + i) * CPLX);
-            i += 2;
+        // i runs over the evens in 0..m; j wraps once i + stride >= m.
+        let n1 = (m - stride).div_ceil(2);
+        let mut head = Nest::new(n1);
+        head.read(at(0), 2 * CPLX)
+            .read(at(stride), 2 * CPLX)
+            .compute(12) // complex butterfly: 10 FLOPs + twiddle index
+            .write(at(0), 2 * CPLX);
+        c.nest(head);
+        let n2 = m / 2 - n1;
+        if n2 > 0 {
+            let i0 = 2 * n1;
+            let mut tail = Nest::new(n2);
+            tail.read(at(i0), 2 * CPLX)
+                .read(at(i0 + stride - m), 2 * CPLX)
+                .compute(12)
+                .write(at(i0), 2 * CPLX);
+            c.nest(tail);
         }
     }
 }
@@ -78,12 +90,17 @@ fn transpose(
     for k in 0..procs {
         let sp = (me + 1 + k) % procs;
         let src_rows = partition(m, procs, sp);
+        let (c0, ncols) = (src_rows.start, src_rows.end - src_rows.start);
         for r in rows.clone() {
-            for col in src_rows.clone() {
-                c.read_at(src + (col * m + r) * CPLX);
-                c.compute(4);
-                c.write_at(dst + (r * m + col) * CPLX);
+            if ncols == 0 {
+                continue;
             }
+            // Column read strides a whole source row per step.
+            let mut body = Nest::new(ncols);
+            body.read(src + (c0 * m + r) * CPLX, m * CPLX)
+                .compute(4)
+                .write(dst + (r * m + c0) * CPLX, CPLX);
+            c.nest(body);
         }
     }
 }
@@ -100,15 +117,14 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(move |me| {
             let rows = partition(m, procs, me);
-            chunked(move |phase| {
-                let mut c = Chunk::with_capacity(((rows.end - rows.start) * m * 4) as usize + 8);
+            chunked(move |phase, c| {
                 match phase {
                     // Step 1: transpose x -> y.
-                    0 => transpose(&mut c, x, y, m, me, procs, rows.clone()),
+                    0 => transpose(c, x, y, m, me, procs, rows.clone()),
                     // Step 2: FFT each of my rows of y.
                     1 => {
                         for r in rows.clone() {
-                            row_fft(&mut c, y, m, r);
+                            row_fft(c, y, m, r);
                         }
                     }
                     // Step 3: twiddle multiply + transpose y -> x
@@ -116,28 +132,33 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     2 => {
                         for k in 0..procs {
                             let sp = (me + 1 + k) % procs;
+                            let cols = partition(m, procs, sp);
+                            let (c0, ncols) = (cols.start, cols.end - cols.start);
                             for r in rows.clone() {
-                                for col in partition(m, procs, sp) {
-                                    c.read_at(twiddle + (r * m + col) * CPLX);
-                                    c.read_at(y + (col * m + r) * CPLX);
-                                    c.compute(10);
-                                    c.write_at(x + (r * m + col) * CPLX);
+                                if ncols == 0 {
+                                    continue;
                                 }
+                                let mut body = Nest::new(ncols);
+                                body.read(twiddle + (r * m + c0) * CPLX, CPLX)
+                                    .read(y + (c0 * m + r) * CPLX, m * CPLX)
+                                    .compute(10)
+                                    .write(x + (r * m + c0) * CPLX, CPLX);
+                                c.nest(body);
                             }
                         }
                     }
                     // Step 4: FFT each of my rows of x.
                     3 => {
                         for r in rows.clone() {
-                            row_fft(&mut c, x, m, r);
+                            row_fft(c, x, m, r);
                         }
                     }
                     // Step 5: final transpose x -> y.
-                    4 => transpose(&mut c, x, y, m, me, procs, rows.clone()),
-                    _ => return None,
+                    4 => transpose(c, x, y, m, me, procs, rows.clone()),
+                    _ => return false,
                 }
                 c.barrier(phase as u32);
-                Some(c)
+                true
             })
         })
         .collect()
@@ -179,10 +200,11 @@ mod tests {
         // 1 processor owning all rows degenerates to a plain transpose.
         transpose(&mut c, 0, 1 << 30, 8, 0, 1, 2..3);
         let reads: Vec<u64> = c
-            .into_ops()
+            .into_macros()
             .iter()
+            .flat_map(|m| m.expand())
             .filter_map(|o| match o {
-                Op::Read(a) => Some(*a),
+                Op::Read(a) => Some(a),
                 _ => None,
             })
             .collect();
@@ -194,12 +216,14 @@ mod tests {
         // With 4 processors, processor 0 starts on processor 1's patch.
         let mut c = Chunk::default();
         transpose(&mut c, 0, 1 << 30, 8, 0, 4, 0..2);
-        if let Some(Op::Read(first)) = c.into_ops().first() {
-            // First source column belongs to processor 1 (columns 2..4).
-            assert_eq!(*first, 2 * 8 * CPLX);
-        } else {
-            panic!("no reads");
-        }
+        let first = c
+            .into_macros()
+            .iter()
+            .flat_map(|m| m.expand())
+            .next()
+            .expect("no reads");
+        // First source column belongs to processor 1 (columns 2..4).
+        assert_eq!(first, Op::Read(2 * 8 * CPLX));
     }
 
     #[test]
@@ -208,7 +232,7 @@ mod tests {
         row_fft(&mut c, 0, 16, 3);
         let lo = 3 * 16 * CPLX;
         let hi = 4 * 16 * CPLX;
-        for op in c.into_ops() {
+        for op in c.into_macros().iter().flat_map(|m| m.expand()) {
             if let Op::Read(a) | Op::Write(a) = op {
                 assert!(a >= lo && a < hi, "escaped the row: {a}");
             }

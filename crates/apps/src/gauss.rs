@@ -11,8 +11,8 @@
 //! Paper reuse class: **High** (~70% shared-cache hit rate; the paper's
 //! representative high-reuse app in Figs. 13–15).
 
-use crate::gen::{chunked, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::gen::{chunked, Alloc, ELEM};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -45,19 +45,18 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..w.procs)
         .map(|me| {
             let me64 = me as u64;
-            chunked(move |k| {
+            chunked(move |k, c| {
                 if k >= n - 1 {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity((3 * (n - k) * (n - k) / procs) as usize + 64);
                 // Owner normalizes the pivot row (divide by a[k][k]).
                 if k % procs == me64 {
                     c.read(a, k * n + k, ELEM);
-                    for col in k..n {
-                        c.read(a, k * n + col, ELEM);
-                        c.compute(COMPUTE_PER_ELEM);
-                        c.write(a, k * n + col, ELEM);
-                    }
+                    let mut norm = Nest::new(n - k);
+                    norm.read(a + (k * n + k) * ELEM, ELEM)
+                        .compute(COMPUTE_PER_ELEM)
+                        .write(a + (k * n + k) * ELEM, ELEM);
+                    c.nest(norm);
                 }
                 c.barrier(2 * k as u32);
                 // Everyone eliminates their rows below k.
@@ -65,16 +64,16 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 while r < n {
                     c.read(a, r * n + k, ELEM); // multiplier
                     c.compute(COMPUTE_PER_ELEM);
-                    for col in k + 1..n {
-                        c.read(a, k * n + col, ELEM); // pivot row (hot)
-                        c.read(a, r * n + col, ELEM);
-                        c.compute(COMPUTE_PER_ELEM);
-                        c.write(a, r * n + col, ELEM);
-                    }
+                    let mut elim = Nest::new(n - k - 1);
+                    elim.read(a + (k * n + k + 1) * ELEM, ELEM) // pivot row (hot)
+                        .read(a + (r * n + k + 1) * ELEM, ELEM)
+                        .compute(COMPUTE_PER_ELEM)
+                        .write(a + (r * n + k + 1) * ELEM, ELEM);
+                    c.nest(elim);
                     r += procs;
                 }
                 c.barrier(2 * k as u32 + 1);
-                Some(c)
+                true
             })
         })
         .collect()

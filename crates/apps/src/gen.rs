@@ -5,12 +5,18 @@
 //! * [`Alloc`] — a bump allocator for the shared region and each node's
 //!   private region, so every app lays out its arrays the same way.
 //! * [`Chunk`] — a builder for one phase's worth of operations (one outer
-//!   iteration, one pivot step, ...). Adjacent [`Op::Compute`]s coalesce so
-//!   chunk sizes stay proportional to the number of *references*.
-//! * [`chunked`] — turns a `FnMut(phase) -> Option<Chunk>` into a lazy
-//!   [`OpStream`], so paper-sized inputs never materialize a full trace.
+//!   iteration, one pivot step, ...). Regular loops go in compressed as
+//!   [`MacroOp`] runs and [`Nest`]s; scalar pushes cover sync and
+//!   irregular references. Adjacent [`Op::Compute`]s coalesce so chunk
+//!   sizes stay proportional to the number of *references*, and the
+//!   builder rejects pushes whose scalar expansion would have coalesced
+//!   across a macro boundary (the port must keep such seams scalar).
+//! * [`chunked`] — turns a `FnMut(phase, &mut Chunk) -> bool` generator
+//!   into a lazy [`OpStream`]. Fill-in-place: the stream's refill buffer
+//!   is handed to the closure through the chunk, so paper-sized inputs
+//!   never materialize a full trace and refills allocate nothing.
 
-use crate::ops::{BarrierId, LockId, Op, OpStream};
+use crate::ops::{BarrierId, LockId, MacroOp, MacroSource, Nest, Op, OpStream};
 use memsys::addr::{self, Addr, AddressMap};
 
 /// Word size used by all applications (f32/i32 elements, paper-era codes).
@@ -58,14 +64,41 @@ impl Alloc {
     }
 }
 
+/// The first op a macro-op expands to, if any (seam checks).
+fn first_op(m: &MacroOp) -> Option<Op> {
+    m.expand().next()
+}
+
+/// The last op a macro-op expands to, if any (seam checks). Cheap for
+/// every variant: nests walk one iteration's slots backward.
+fn last_op(m: &MacroOp) -> Option<Op> {
+    match m {
+        MacroOp::One(op) => Some(*op),
+        MacroOp::ComputeRun { cost, .. } => Some(Op::Compute(*cost)),
+        MacroOp::ReadRun { base, stride, n } => Some(Op::Read(base + (n - 1) * stride)),
+        MacroOp::WriteRun { base, stride, n } => Some(Op::Write(base + (n - 1) * stride)),
+        MacroOp::Nest(nest) => {
+            // Last iteration whose body emits anything, walked backward.
+            for i in (0..nest.n()).rev() {
+                for s in nest.slots().iter().rev() {
+                    if let Some(op) = s.op_at(i, nest.wmask()) {
+                        return Some(op);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
 /// One phase's operations, with compute-coalescing.
 #[derive(Debug, Default, Clone)]
 pub struct Chunk {
-    ops: Vec<Op>,
+    ops: Vec<MacroOp>,
 }
 
 impl Chunk {
-    /// An empty chunk with room for about `cap` ops.
+    /// An empty chunk with room for about `cap` macro-ops.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             ops: Vec::with_capacity(cap),
@@ -76,62 +109,150 @@ impl Chunk {
     /// `base`.
     #[inline]
     pub fn read(&mut self, base: Addr, i: u64, elem: u64) {
-        self.ops.push(Op::Read(base + i * elem));
+        self.ops.push(MacroOp::One(Op::Read(base + i * elem)));
     }
 
     /// Appends a write of element `i` of the array at `base`.
     #[inline]
     pub fn write(&mut self, base: Addr, i: u64, elem: u64) {
-        self.ops.push(Op::Write(base + i * elem));
+        self.ops.push(MacroOp::One(Op::Write(base + i * elem)));
     }
 
     /// Appends a read of a raw byte address.
     #[inline]
     pub fn read_at(&mut self, a: Addr) {
-        self.ops.push(Op::Read(a));
+        self.ops.push(MacroOp::One(Op::Read(a)));
     }
 
     /// Appends a write of a raw byte address.
     #[inline]
     pub fn write_at(&mut self, a: Addr) {
-        self.ops.push(Op::Write(a));
+        self.ops.push(MacroOp::One(Op::Write(a)));
+    }
+
+    /// Appends reads of elements `i0..i0+n` of the array at `base`
+    /// (consecutive, stride `elem` bytes).
+    #[inline]
+    pub fn read_run(&mut self, base: Addr, i0: u64, n: u64, elem: u64) {
+        match n {
+            0 => {}
+            1 => self.read(base, i0, elem),
+            _ => self.ops.push(MacroOp::ReadRun {
+                base: base + i0 * elem,
+                stride: elem,
+                n,
+            }),
+        }
+    }
+
+    /// Appends writes of elements `i0..i0+n` of the array at `base`.
+    #[inline]
+    pub fn write_run(&mut self, base: Addr, i0: u64, n: u64, elem: u64) {
+        match n {
+            0 => {}
+            1 => self.write(base, i0, elem),
+            _ => self.ops.push(MacroOp::WriteRun {
+                base: base + i0 * elem,
+                stride: elem,
+                n,
+            }),
+        }
     }
 
     /// Appends `n` cycles of computation, merging with a preceding
     /// `Compute`.
+    ///
+    /// # Panics
+    /// If the preceding macro-op's expansion *ends* with a `Compute`: the
+    /// scalar builder would have coalesced this push into it, which a
+    /// uniform macro-op cannot represent. Ports must keep such a seam
+    /// scalar (emit the loop's final compute outside the macro).
     #[inline]
     pub fn compute(&mut self, n: u32) {
         if n == 0 {
             return;
         }
-        if let Some(Op::Compute(c)) = self.ops.last_mut() {
-            *c = c.saturating_add(n);
-        } else {
-            self.ops.push(Op::Compute(n));
+        match self.ops.last_mut() {
+            Some(MacroOp::One(Op::Compute(c))) => {
+                *c = c.saturating_add(n);
+                return;
+            }
+            Some(m @ (MacroOp::ComputeRun { .. } | MacroOp::Nest(_))) => {
+                assert!(
+                    !matches!(last_op(m), Some(Op::Compute(_))),
+                    "compute after a macro ending in Compute: seam would coalesce"
+                );
+            }
+            _ => {}
         }
+        self.ops.push(MacroOp::One(Op::Compute(n)));
+    }
+
+    /// Appends `n` separate `Compute(cost)` ops (not coalesced — distinct
+    /// scalar ops, e.g. one per element of an irregular loop with
+    /// references elided).
+    ///
+    /// # Panics
+    /// If preceded by a `Compute` (either side of the run would coalesce
+    /// in the scalar builder).
+    pub fn compute_run(&mut self, cost: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        assert!(cost > 0, "zero-cost compute run");
+        assert!(
+            !matches!(self.ops.last().and_then(last_op), Some(Op::Compute(_))),
+            "compute run after Compute: seam would coalesce"
+        );
+        if n == 1 {
+            self.ops.push(MacroOp::One(Op::Compute(cost)));
+        } else {
+            self.ops.push(MacroOp::ComputeRun { cost, n });
+        }
+    }
+
+    /// Appends a loop nest.
+    ///
+    /// # Panics
+    /// If the nest's expansion starts with a `Compute` while the chunk
+    /// ends with one (the scalar builder would have coalesced them).
+    pub fn nest(&mut self, nest: Nest) {
+        let m = MacroOp::Nest(Box::new(nest));
+        if matches!(self.ops.last().and_then(last_op), Some(Op::Compute(_))) {
+            assert!(
+                !matches!(first_op(&m), Some(Op::Compute(_))),
+                "nest starting with Compute after Compute: seam would coalesce"
+            );
+        }
+        self.ops.push(m);
     }
 
     /// Appends a barrier.
     #[inline]
     pub fn barrier(&mut self, id: BarrierId) {
-        self.ops.push(Op::Barrier(id));
+        self.ops.push(MacroOp::One(Op::Barrier(id)));
     }
 
     /// Appends a lock acquire.
     #[inline]
     pub fn acquire(&mut self, id: LockId) {
-        self.ops.push(Op::Acquire(id));
+        self.ops.push(MacroOp::One(Op::Acquire(id)));
     }
 
     /// Appends a lock release.
     #[inline]
     pub fn release(&mut self, id: LockId) {
-        self.ops.push(Op::Release(id));
+        self.ops.push(MacroOp::One(Op::Release(id)));
     }
 
-    /// Number of ops in the chunk.
+    /// Number of macro-ops in the chunk.
     pub fn len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Number of scalar ops the chunk expands to.
+    pub fn ops_len(&self) -> u64 {
+        self.ops.iter().map(|m| m.ops_len()).sum()
     }
 
     /// True if the chunk is empty.
@@ -139,33 +260,52 @@ impl Chunk {
         self.ops.is_empty()
     }
 
-    /// Consumes the chunk into its op vector.
-    pub fn into_ops(self) -> Vec<Op> {
+    /// Consumes the chunk into its macro-op vector.
+    pub fn into_macros(self) -> Vec<MacroOp> {
         self.ops
     }
 }
 
-/// Builds a lazy stream from a chunk generator: `next(phase)` is called
-/// with 0, 1, 2, ... and the stream ends when it returns `None`.
+/// Builds a lazy stream from a chunk generator: the closure is called
+/// with phase 0, 1, 2, ... and a chunk to fill; it returns `false` after
+/// the final phase (ops pushed on that call still count).
 ///
-/// The generator feeds the stream's buffer a whole phase at a time, so
-/// per-op iteration never touches the closure.
+/// The generator feeds the stream's refill buffer a whole phase at a
+/// time through the chunk — the buffer is moved in and out, so refills
+/// recycle one allocation for the stream's whole life and per-op
+/// iteration never touches the closure.
 pub fn chunked<F>(next: F) -> OpStream
 where
-    F: FnMut(u64) -> Option<Chunk> + Send + 'static,
+    F: FnMut(u64, &mut Chunk) -> bool + Send + 'static,
 {
     struct Phases<F> {
         next: F,
         phase: u64,
+        done: bool,
     }
-    impl<F: FnMut(u64) -> Option<Chunk> + Send> crate::ops::OpSource for Phases<F> {
-        fn next_chunk(&mut self) -> Option<Vec<Op>> {
-            let c = (self.next)(self.phase)?;
+    impl<F: FnMut(u64, &mut Chunk) -> bool + Send> MacroSource for Phases<F> {
+        fn next_chunk(&mut self, buf: &mut Vec<MacroOp>) -> bool {
+            if self.done {
+                return false;
+            }
+            let mut c = Chunk {
+                ops: std::mem::take(buf),
+            };
+            let more = (self.next)(self.phase, &mut c);
             self.phase += 1;
-            Some(c.into_ops())
+            *buf = c.ops;
+            if !more {
+                self.done = true;
+                return !buf.is_empty();
+            }
+            true
         }
     }
-    OpStream::from_source(Phases { next, phase: 0 })
+    OpStream::from_macro_source(Phases {
+        next,
+        phase: 0,
+        done: false,
+    })
 }
 
 /// Contiguous 1-D partition: the half-open range of `n` items owned by
@@ -218,22 +358,65 @@ mod tests {
         c.read_at(100);
         c.compute(0);
         c.compute(2);
-        let ops = c.into_ops();
+        let ops: Vec<Op> = c.into_macros().iter().flat_map(|m| m.expand()).collect();
         assert_eq!(ops, vec![Op::Compute(7), Op::Read(100), Op::Compute(2)]);
     }
 
     #[test]
+    fn chunk_runs_expand_to_consecutive_elements() {
+        let mut c = Chunk::default();
+        c.read_run(1000, 2, 3, 4);
+        c.write_run(2000, 0, 2, 8);
+        c.read_run(3000, 5, 1, 4); // single element: scalar
+        c.compute_run(2, 3);
+        let ops: Vec<Op> = c.into_macros().iter().flat_map(|m| m.expand()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Read(1008),
+                Op::Read(1012),
+                Op::Read(1016),
+                Op::Write(2000),
+                Op::Write(2008),
+                Op::Read(3020),
+                Op::Compute(2),
+                Op::Compute(2),
+                Op::Compute(2),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seam would coalesce")]
+    fn compute_after_compute_tailed_nest_is_rejected() {
+        let mut body = Nest::new(2);
+        body.read(0, 4).compute(5);
+        let mut c = Chunk::default();
+        c.nest(body);
+        c.compute(1); // would coalesce with the nest's last Compute
+    }
+
+    #[test]
     fn chunked_streams_all_phases() {
-        let s = chunked(|phase| {
+        let s = chunked(|phase, c| {
             if phase >= 3 {
-                return None;
+                return false;
             }
-            let mut c = Chunk::default();
             c.read_at(phase * 8);
-            Some(c)
+            true
         });
         let ops: Vec<Op> = s.collect();
         assert_eq!(ops, vec![Op::Read(0), Op::Read(8), Op::Read(16)]);
+    }
+
+    #[test]
+    fn chunked_final_phase_ops_still_count() {
+        let s = chunked(|phase, c| {
+            c.read_at(phase);
+            phase < 1
+        });
+        let ops: Vec<Op> = s.collect();
+        assert_eq!(ops, vec![Op::Read(0), Op::Read(1)]);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!
 //! Paper reuse class: **High** (~70% shared-cache hit rate).
 
-use crate::gen::{chunked, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::gen::{chunked, Alloc, ELEM};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::{Addr, AddressMap};
 
@@ -67,19 +67,18 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..w.procs)
         .map(|me| {
             let me64 = me as u64;
-            chunked(move |k| {
+            chunked(move |k, c| {
                 if k >= nb {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(4096);
                 // Phase 1: factor diagonal block (k,k).
                 if owner(k, k, nb, procs) == me64 {
                     for x in 0..b {
-                        for y in 0..b {
-                            c.read_at(elem_addr(a, n, b, k, k, x, y));
-                            c.compute(COMPUTE_PER_ELEM);
-                            c.write_at(elem_addr(a, n, b, k, k, x, y));
-                        }
+                        let mut body = Nest::new(b);
+                        body.read(elem_addr(a, n, b, k, k, x, 0), ELEM)
+                            .compute(COMPUTE_PER_ELEM)
+                            .write(elem_addr(a, n, b, k, k, x, 0), ELEM);
+                        c.nest(body);
                     }
                 }
                 c.barrier(3 * k as u32);
@@ -90,13 +89,15 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                             continue;
                         }
                         for x in 0..b {
-                            for y in 0..b {
-                                // read the diagonal block (hot) + own elem
-                                c.read_at(elem_addr(a, n, b, k, k, y, x));
-                                c.read_at(elem_addr(a, n, b, bi, bj, x, y));
-                                c.compute(COMPUTE_PER_ELEM);
-                                c.write_at(elem_addr(a, n, b, bi, bj, x, y));
-                            }
+                            // read the diagonal block (hot) + own elem;
+                            // the diag is walked transposed, so its inner
+                            // stride is a whole matrix row.
+                            let mut body = Nest::new(b);
+                            body.read(elem_addr(a, n, b, k, k, 0, x), n * ELEM)
+                                .read(elem_addr(a, n, b, bi, bj, x, 0), ELEM)
+                                .compute(COMPUTE_PER_ELEM)
+                                .write(elem_addr(a, n, b, bi, bj, x, 0), ELEM);
+                            c.nest(body);
                         }
                     }
                 }
@@ -108,18 +109,18 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                             continue;
                         }
                         for x in 0..b {
-                            for y in 0..b {
-                                c.read_at(elem_addr(a, n, b, bi, k, x, y)); // L block (hot)
-                                c.read_at(elem_addr(a, n, b, k, bj, x, y)); // U block (hot)
-                                c.read_at(elem_addr(a, n, b, bi, bj, x, y));
-                                c.compute(COMPUTE_PER_ELEM);
-                                c.write_at(elem_addr(a, n, b, bi, bj, x, y));
-                            }
+                            let mut body = Nest::new(b);
+                            body.read(elem_addr(a, n, b, bi, k, x, 0), ELEM) // L block (hot)
+                                .read(elem_addr(a, n, b, k, bj, x, 0), ELEM) // U block (hot)
+                                .read(elem_addr(a, n, b, bi, bj, x, 0), ELEM)
+                                .compute(COMPUTE_PER_ELEM)
+                                .write(elem_addr(a, n, b, bi, bj, x, 0), ELEM);
+                            c.nest(body);
                         }
                     }
                 }
                 c.barrier(3 * k as u32 + 2);
-                Some(c)
+                true
             })
         })
         .collect()

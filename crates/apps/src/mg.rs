@@ -12,7 +12,7 @@
 //! Paper reuse class: **High** (~70% shared-cache hit rate).
 
 use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::{Addr, AddressMap};
 
@@ -78,26 +78,52 @@ impl Level {
 }
 
 /// 7-point smoothing sweep over this processor's z-planes of level `lv`.
+///
+/// The interior of each x-row is one affine nest; the clamped boundary
+/// points (x = 0 and x = nx-1) stay scalar.
 fn smooth(c: &mut Chunk, lv: &Level, zs: std::ops::Range<u64>) {
+    // One point, boundary-clamped (the scalar body of the original loop).
+    let point = |c: &mut Chunk, x: u64, y: u64, z: u64| {
+        let xm = x.saturating_sub(1);
+        let xp = (x + 1).min(lv.nx - 1);
+        let ym = y.saturating_sub(1);
+        let yp = (y + 1).min(lv.ny - 1);
+        let zm = z.saturating_sub(1);
+        let zp = (z + 1).min(lv.nz - 1);
+        c.read_at(lv.at(lv.u, xm, y, z));
+        c.read_at(lv.at(lv.u, xp, y, z));
+        c.read_at(lv.at(lv.u, x, ym, z));
+        c.read_at(lv.at(lv.u, x, yp, z));
+        c.read_at(lv.at(lv.u, x, y, zm));
+        c.read_at(lv.at(lv.u, x, y, zp));
+        c.read_at(lv.at(lv.r, x, y, z));
+        c.compute(COMPUTE_PER_POINT);
+        c.write_at(lv.at(lv.u, x, y, z));
+    };
     for z in zs {
+        let zm = z.saturating_sub(1);
+        let zp = (z + 1).min(lv.nz - 1);
         for y in 0..lv.ny {
-            for x in 0..lv.nx {
-                // 6 neighbors (clamped) + center from r, write u.
-                let xm = x.saturating_sub(1);
-                let xp = (x + 1).min(lv.nx - 1);
-                let ym = y.saturating_sub(1);
-                let yp = (y + 1).min(lv.ny - 1);
-                let zm = z.saturating_sub(1);
-                let zp = (z + 1).min(lv.nz - 1);
-                c.read_at(lv.at(lv.u, xm, y, z));
-                c.read_at(lv.at(lv.u, xp, y, z));
-                c.read_at(lv.at(lv.u, x, ym, z));
-                c.read_at(lv.at(lv.u, x, yp, z));
-                c.read_at(lv.at(lv.u, x, y, zm));
-                c.read_at(lv.at(lv.u, x, y, zp));
-                c.read_at(lv.at(lv.r, x, y, z));
-                c.compute(COMPUTE_PER_POINT);
-                c.write_at(lv.at(lv.u, x, y, z));
+            let ym = y.saturating_sub(1);
+            let yp = (y + 1).min(lv.ny - 1);
+            point(c, 0, y, z);
+            if lv.nx >= 3 {
+                // Interior x in 1..nx-1: no clamping, every operand
+                // affine in x.
+                let mut body = Nest::new(lv.nx - 2);
+                body.read(lv.at(lv.u, 0, y, z), ELEM)
+                    .read(lv.at(lv.u, 2, y, z), ELEM)
+                    .read(lv.at(lv.u, 1, ym, z), ELEM)
+                    .read(lv.at(lv.u, 1, yp, z), ELEM)
+                    .read(lv.at(lv.u, 1, y, zm), ELEM)
+                    .read(lv.at(lv.u, 1, y, zp), ELEM)
+                    .read(lv.at(lv.r, 1, y, z), ELEM)
+                    .compute(COMPUTE_PER_POINT)
+                    .write(lv.at(lv.u, 1, y, z), ELEM);
+                c.nest(body);
+            }
+            if lv.nx >= 2 {
+                point(c, lv.nx - 1, y, z);
             }
         }
     }
@@ -118,11 +144,10 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(|me| {
             let levels = levels.clone();
-            chunked(move |iter| {
+            chunked(move |iter, c| {
                 if iter >= prm.iters {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(64 * 1024);
                 let mut bar = (iter as u32) * (4 * nlev as u32 + 4);
                 let level = |l: usize| {
                     let (nx, ny, nz) = prm.dims(l);
@@ -138,27 +163,36 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 for l in 0..nlev - 1 {
                     let fine = level(l);
                     let coarse = level(l + 1);
-                    smooth(&mut c, &fine, partition(fine.nz, procs, me));
+                    smooth(c, &fine, partition(fine.nz, procs, me));
                     c.barrier(bar);
                     bar += 1;
                     for z in partition(coarse.nz, procs, me) {
+                        let fz = (2 * z).min(fine.nz - 1);
                         for y in 0..coarse.ny {
-                            for x in 0..coarse.nx {
-                                // read 2 fine points + write coarse r
-                                c.read_at(fine.at(
-                                    fine.r,
-                                    (2 * x).min(fine.nx - 1),
-                                    (2 * y).min(fine.ny - 1),
-                                    (2 * z).min(fine.nz - 1),
-                                ));
-                                c.read_at(fine.at(
-                                    fine.u,
-                                    (2 * x + 1).min(fine.nx - 1),
-                                    (2 * y).min(fine.ny - 1),
-                                    (2 * z).min(fine.nz - 1),
-                                ));
-                                c.compute(4);
-                                c.write_at(coarse.at(coarse.r, x, y, z));
+                            let fy = (2 * y).min(fine.ny - 1);
+                            if 2 * coarse.nx - 1 < fine.nx {
+                                // No x-clamping anywhere in range: both
+                                // fine reads stride two elements per
+                                // coarse point.
+                                let mut body = Nest::new(coarse.nx);
+                                body.read(fine.at(fine.r, 0, fy, fz), 2 * ELEM)
+                                    .read(fine.at(fine.u, 1, fy, fz), 2 * ELEM)
+                                    .compute(4)
+                                    .write(coarse.at(coarse.r, 0, y, z), ELEM);
+                                c.nest(body);
+                            } else {
+                                for x in 0..coarse.nx {
+                                    // read 2 fine points + write coarse r
+                                    c.read_at(fine.at(fine.r, (2 * x).min(fine.nx - 1), fy, fz));
+                                    c.read_at(fine.at(
+                                        fine.u,
+                                        (2 * x + 1).min(fine.nx - 1),
+                                        fy,
+                                        fz,
+                                    ));
+                                    c.compute(4);
+                                    c.write_at(coarse.at(coarse.r, x, y, z));
+                                }
                             }
                         }
                     }
@@ -167,10 +201,10 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 }
                 // Coarsest solve: two smoothing sweeps.
                 let bot = level(nlev - 1);
-                smooth(&mut c, &bot, partition(bot.nz, procs, me));
+                smooth(c, &bot, partition(bot.nz, procs, me));
                 c.barrier(bar);
                 bar += 1;
-                smooth(&mut c, &bot, partition(bot.nz, procs, me));
+                smooth(c, &bot, partition(bot.nz, procs, me));
                 c.barrier(bar);
                 bar += 1;
                 // Up-sweep: prolong to l, then smooth l.
@@ -193,11 +227,11 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     }
                     c.barrier(bar);
                     bar += 1;
-                    smooth(&mut c, &fine, partition(fine.nz, procs, me));
+                    smooth(c, &fine, partition(fine.nz, procs, me));
                     c.barrier(bar);
                     bar += 1;
                 }
-                Some(c)
+                true
             })
         })
         .collect()
@@ -262,7 +296,7 @@ mod tests {
             nz: 4,
         };
         smooth(&mut c, &lv, 0..1);
-        let ops = c.into_ops();
+        let ops: Vec<Op> = c.into_macros().iter().flat_map(|m| m.expand()).collect();
         let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
         let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
         assert_eq!(reads, 16 * 7);

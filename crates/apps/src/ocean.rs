@@ -11,7 +11,7 @@
 //! Paper reuse class: **Moderate**.
 
 use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::{Addr, AddressMap};
 
@@ -43,21 +43,22 @@ impl Params {
 }
 
 /// 5-point stencil sweep: read 4 neighbors + center of `src`, write `dst`.
+/// Each interior row is one affine nest over its columns.
 fn sweep(c: &mut Chunk, src: Addr, dst: Addr, n: u64, rows: std::ops::Range<u64>) {
     for r in rows {
         let r = r + 1;
         if r >= n - 1 {
             continue;
         }
-        for col in 1..n - 1 {
-            c.read_at(src + ((r - 1) * n + col) * ELEM);
-            c.read_at(src + ((r + 1) * n + col) * ELEM);
-            c.read_at(src + (r * n + col - 1) * ELEM);
-            c.read_at(src + (r * n + col + 1) * ELEM);
-            c.read_at(src + (r * n + col) * ELEM);
-            c.compute(11);
-            c.write_at(dst + (r * n + col) * ELEM);
-        }
+        let mut body = Nest::new(n - 2);
+        body.read(src + ((r - 1) * n + 1) * ELEM, ELEM)
+            .read(src + ((r + 1) * n + 1) * ELEM, ELEM)
+            .read(src + (r * n) * ELEM, ELEM)
+            .read(src + (r * n + 2) * ELEM, ELEM)
+            .read(src + (r * n + 1) * ELEM, ELEM)
+            .compute(11)
+            .write(dst + (r * n + 1) * ELEM, ELEM);
+        c.nest(body);
     }
 }
 
@@ -79,11 +80,10 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(|me| {
             let mg = mg.clone();
-            chunked(move |step| {
+            chunked(move |step, c| {
                 if step >= prm.steps {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(32 * 1024);
                 let mut bar = (step as u32) * 32;
                 let mut barrier = |c: &mut Chunk| {
                     c.barrier(bar);
@@ -91,46 +91,43 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 };
                 // Three physics sweeps.
                 for (src, dst) in [(u, work), (v, u), (work, v)] {
-                    sweep(&mut c, src, dst, n, partition(n - 2, procs, me));
-                    barrier(&mut c);
+                    sweep(c, src, dst, n, partition(n - 2, procs, me));
+                    barrier(c);
                 }
                 // Multigrid solve: down (restrict) then up (smooth).
                 for l in 0..prm.levels {
                     let d = prm.dim(l);
                     let grid = mg[l];
                     let src = if l == 0 { psi } else { mg[l - 1] };
-                    // Restrict / smooth on level l.
+                    // Restrict / smooth on level l. The source row is
+                    // fixed per r, so the whole column walk is affine.
+                    let sd = prm.dim(l.saturating_sub(1));
                     for r in partition(d.saturating_sub(2), procs, me) {
                         let r = r + 1;
-                        for col in 1..d - 1 {
-                            c.read_at(
-                                src + ((r * 2 % (prm.dim(l.saturating_sub(1))))
-                                    * prm.dim(l.saturating_sub(1))
-                                    + col)
-                                    * ELEM,
-                            );
-                            c.read_at(grid + (r * d + col) * ELEM);
-                            c.compute(4);
-                            c.write_at(grid + (r * d + col) * ELEM);
-                        }
+                        let mut body = Nest::new(d - 2);
+                        body.read(src + ((r * 2 % sd) * sd + 1) * ELEM, ELEM)
+                            .read(grid + (r * d + 1) * ELEM, ELEM)
+                            .compute(4)
+                            .write(grid + (r * d + 1) * ELEM, ELEM);
+                        c.nest(body);
                     }
-                    barrier(&mut c);
+                    barrier(c);
                 }
                 for l in (0..prm.levels).rev() {
                     let d = prm.dim(l);
-                    sweep(&mut c, mg[l], mg[l], d, partition(d - 2, procs, me));
-                    barrier(&mut c);
+                    sweep(c, mg[l], mg[l], d, partition(d - 2, procs, me));
+                    barrier(c);
                 }
                 // Copy solution back into psi.
                 for r in partition(n - 2, procs, me) {
                     let r = r + 1;
-                    for col in 1..n - 1 {
-                        c.read_at(mg[0] + (r * n + col) * ELEM);
-                        c.write_at(psi + (r * n + col) * ELEM);
-                    }
+                    let mut body = Nest::new(n - 2);
+                    body.read(mg[0] + (r * n + 1) * ELEM, ELEM)
+                        .write(psi + (r * n + 1) * ELEM, ELEM);
+                    c.nest(body);
                 }
-                barrier(&mut c);
-                Some(c)
+                barrier(c);
+                true
             })
         })
         .collect()
@@ -178,7 +175,7 @@ mod tests {
     fn sweep_reads_five_per_point() {
         let mut c = Chunk::default();
         sweep(&mut c, 0, 1 << 20, 6, 0..4);
-        let ops = c.into_ops();
+        let ops: Vec<Op> = c.into_macros().iter().flat_map(|m| m.expand()).collect();
         let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
         let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
         assert_eq!(reads, 4 * 4 * 5);

@@ -1,4 +1,14 @@
 //! The operation vocabulary the workload front-end feeds the simulator.
+//!
+//! Two layers. The scalar [`Op`] is the unit of simulated work: one
+//! compute cycle bundle, one data reference, one sync operation. The
+//! compressed [`MacroOp`] is the unit of *transport*: generators describe
+//! their regular loops as runs and loop nests ([`Nest`]) instead of
+//! materializing every element, and the engine retires a whole run with a
+//! handful of block-granular probes. [`MacroOp::expand`] defines the
+//! scalar meaning of every macro-op; everything downstream (the stream's
+//! `Iterator` impl, the engine's fast path) must agree with it
+//! bit-for-bit.
 
 use memsys::Addr;
 
@@ -30,130 +40,6 @@ pub enum Op {
     Barrier(BarrierId),
 }
 
-/// A chunk-at-a-time producer feeding an [`OpStream`].
-///
-/// The stream's hot path iterates a plain `Vec<Op>` buffer; the source is
-/// consulted only when the buffer drains — once per *phase*, not per op —
-/// so generator virtual dispatch stays off the simulator's per-operation
-/// path.
-pub trait OpSource: Send {
-    /// The next batch of operations, or `None` when the program ends.
-    /// Empty batches are allowed (a phase that emits nothing).
-    fn next_chunk(&mut self) -> Option<Vec<Op>>;
-}
-
-/// A lazily generated per-processor operation stream.
-///
-/// Iterates like any `Iterator<Item = Op>`, but is a concrete buffered
-/// type: `next()` is an array read that the simulator's execution loop
-/// inlines, with chunk refills amortized across thousands of operations.
-pub struct OpStream {
-    buf: Vec<Op>,
-    pos: usize,
-    source: Option<Box<dyn OpSource>>,
-}
-
-impl OpStream {
-    /// A stream over a fully materialized op vector (replays, tests).
-    pub fn from_ops(ops: Vec<Op>) -> Self {
-        Self {
-            buf: ops,
-            pos: 0,
-            source: None,
-        }
-    }
-
-    /// A stream drawing chunks from `source` on demand.
-    pub fn from_source(source: impl OpSource + 'static) -> Self {
-        Self {
-            buf: Vec::new(),
-            pos: 0,
-            source: Some(Box::new(source)),
-        }
-    }
-
-    /// Wraps an arbitrary op iterator, batching it into chunks so the
-    /// per-op cost stays an inlined buffer read. The extension point for
-    /// custom front-ends that aren't phase-structured.
-    pub fn lazy(it: impl Iterator<Item = Op> + Send + 'static) -> Self {
-        struct IterSource<I>(I);
-        impl<I: Iterator<Item = Op> + Send> OpSource for IterSource<I> {
-            fn next_chunk(&mut self) -> Option<Vec<Op>> {
-                let mut v = Vec::with_capacity(1024);
-                v.extend(self.0.by_ref().take(1024));
-                if v.is_empty() {
-                    None
-                } else {
-                    Some(v)
-                }
-            }
-        }
-        Self::from_source(IterSource(it))
-    }
-
-    /// The remaining buffered run, without consuming it — refilling from
-    /// the [`OpSource`] first if the buffer is drained. The simulator's
-    /// event-elision fast path peeks a run, executes the leading prefix of
-    /// private ops inline, and [`consume`](Self::consume)s exactly what it
-    /// retired; the first non-elidable op stays in the stream for the
-    /// general path. Returns an empty slice only when the stream has ended.
-    #[inline]
-    pub fn peek_run(&mut self) -> &[Op] {
-        while self.pos >= self.buf.len() {
-            match self.source.as_mut().and_then(|s| s.next_chunk()) {
-                Some(chunk) => {
-                    self.buf = chunk;
-                    self.pos = 0;
-                }
-                None => {
-                    self.source = None;
-                    self.buf.clear();
-                    self.pos = 0;
-                    break;
-                }
-            }
-        }
-        &self.buf[self.pos..]
-    }
-
-    /// Consumes the first `n` ops of the run last returned by
-    /// [`peek_run`](Self::peek_run).
-    ///
-    /// # Panics
-    /// In debug builds, if `n` exceeds the buffered run length.
-    #[inline]
-    pub fn consume(&mut self, n: usize) {
-        debug_assert!(self.pos + n <= self.buf.len(), "consumed past peeked run");
-        self.pos += n;
-    }
-}
-
-impl Iterator for OpStream {
-    type Item = Op;
-
-    #[inline]
-    fn next(&mut self) -> Option<Op> {
-        loop {
-            if let Some(&op) = self.buf.get(self.pos) {
-                self.pos += 1;
-                return Some(op);
-            }
-            match self.source.as_mut()?.next_chunk() {
-                Some(chunk) => {
-                    self.buf = chunk;
-                    self.pos = 0;
-                }
-                None => {
-                    self.source = None;
-                    self.buf.clear();
-                    self.pos = 0;
-                    return None;
-                }
-            }
-        }
-    }
-}
-
 impl Op {
     /// True for synchronization operations.
     pub fn is_sync(&self) -> bool {
@@ -166,9 +52,688 @@ impl Op {
     }
 }
 
+/// Maximum number of body slots in a [`Nest`] (the widest user is the
+/// 3-D 7-point stencil: seven reads, a compute, a write).
+pub const MAX_SLOTS: usize = 12;
+
+/// One statement of a [`Nest`] body, instantiated once per iteration.
+///
+/// Affine slots reference `base + i * stride` at iteration `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// `Op::Compute(cost)` every iteration.
+    Compute(u32),
+    /// `Op::Read(base + i * stride)`.
+    Read {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Byte step per iteration.
+        stride: u64,
+    },
+    /// `Op::Write(base + i * stride)`.
+    Write {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Byte step per iteration.
+        stride: u64,
+    },
+    /// `Op::Write(base + i * stride)` only on iterations whose bit is set
+    /// in the nest's `wmask`; otherwise the slot emits nothing.
+    WriteIf {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Byte step per iteration.
+        stride: u64,
+    },
+}
+
+impl Slot {
+    /// The op this slot emits at iteration `i`, if any.
+    #[inline]
+    pub fn op_at(&self, i: u64, wmask: u64) -> Option<Op> {
+        match *self {
+            Slot::Compute(c) => Some(Op::Compute(c)),
+            Slot::Read { base, stride } => Some(Op::Read(base + i * stride)),
+            Slot::Write { base, stride } => Some(Op::Write(base + i * stride)),
+            Slot::WriteIf { base, stride } => {
+                debug_assert!(i < 64);
+                ((wmask >> i) & 1 == 1).then(|| Op::Write(base + i * stride))
+            }
+        }
+    }
+}
+
+/// A counted loop template: up to [`MAX_SLOTS`] body slots executed in
+/// order for each of `n` iterations. This is the macro-op that carries
+/// the *loop* instead of its elements: the inner loops of the regular
+/// kernels (wavefront, SOR, elimination, ...) interleave reads, compute,
+/// and writes per element, so a flat run enum could never compress them —
+/// a nest reproduces the exact interleaved scalar order while the engine
+/// retires whole block-segments of it at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nest {
+    n: u64,
+    wmask: u64,
+    len: u8,
+    slots: [Slot; MAX_SLOTS],
+}
+
+impl Nest {
+    /// An empty nest of `n > 0` iterations. Push slots with
+    /// [`read`](Self::read) / [`write`](Self::write) /
+    /// [`write_if`](Self::write_if) / [`compute`](Self::compute).
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "empty nest");
+        Self {
+            n,
+            wmask: 0,
+            len: 0,
+            slots: [Slot::Compute(0); MAX_SLOTS],
+        }
+    }
+
+    fn push(&mut self, s: Slot) -> &mut Self {
+        assert!((self.len as usize) < MAX_SLOTS, "nest body too long");
+        self.slots[self.len as usize] = s;
+        self.len += 1;
+        self
+    }
+
+    /// Appends a compute slot of `cost > 0` cycles.
+    pub fn compute(&mut self, cost: u32) -> &mut Self {
+        assert!(cost > 0, "zero-cost compute slot");
+        self.push(Slot::Compute(cost))
+    }
+
+    /// Appends an affine read slot.
+    pub fn read(&mut self, base: Addr, stride: u64) -> &mut Self {
+        self.push(Slot::Read { base, stride })
+    }
+
+    /// Appends an affine write slot.
+    pub fn write(&mut self, base: Addr, stride: u64) -> &mut Self {
+        self.push(Slot::Write { base, stride })
+    }
+
+    /// Appends a masked write slot; set the per-iteration gate bits with
+    /// [`set_wmask`](Self::set_wmask). Masked slots cap the nest at 64
+    /// iterations (one gate bit per iteration).
+    pub fn write_if(&mut self, base: Addr, stride: u64) -> &mut Self {
+        assert!(
+            self.n <= 64,
+            "masked writes need one wmask bit per iteration"
+        );
+        self.push(Slot::WriteIf { base, stride })
+    }
+
+    /// Sets the gate bits for `WriteIf` slots (bit `i` = iteration `i`
+    /// writes).
+    pub fn set_wmask(&mut self, m: u64) -> &mut Self {
+        self.wmask = m;
+        self
+    }
+
+    /// Iteration count.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The `WriteIf` gate bits.
+    #[inline]
+    pub fn wmask(&self) -> u64 {
+        self.wmask
+    }
+
+    /// The body slots, in emission order.
+    #[inline]
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots[..self.len as usize]
+    }
+
+    /// Expands the slots `from_slot..` of iteration `i` into `out`,
+    /// preserving emission order.
+    #[inline]
+    pub fn expand_iter_into(&self, i: u64, from_slot: usize, out: &mut Vec<Op>) {
+        for s in &self.slots()[from_slot..] {
+            if let Some(op) = s.op_at(i, self.wmask) {
+                out.push(op);
+            }
+        }
+    }
+
+    /// Total scalar ops this nest expands to.
+    pub fn ops_len(&self) -> u64 {
+        let masked = self
+            .slots()
+            .iter()
+            .filter(|s| matches!(s, Slot::WriteIf { .. }))
+            .count() as u64;
+        let unmasked = self.slots().len() as u64 - masked;
+        let live_bits = if self.n >= 64 {
+            self.wmask.count_ones() as u64
+        } else {
+            (self.wmask & ((1u64 << self.n) - 1)).count_ones() as u64
+        };
+        self.n * unmasked + live_bits * masked
+    }
+}
+
+/// A compressed element of a processor's program order. Every macro-op
+/// denotes the exact scalar sequence [`expand`](Self::expand) produces;
+/// generators use the compressed forms for their regular loops and
+/// [`One`](Self::One) for sync and irregular references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MacroOp {
+    /// A single scalar op.
+    One(Op),
+    /// `n` consecutive `Op::Compute(cost)`.
+    ComputeRun {
+        /// Cycles per op.
+        cost: u32,
+        /// Repetition count.
+        n: u64,
+    },
+    /// `Op::Read(base + i * stride)` for `i in 0..n`.
+    ReadRun {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Byte step per iteration.
+        stride: u64,
+        /// Element count.
+        n: u64,
+    },
+    /// `Op::Write(base + i * stride)` for `i in 0..n`.
+    WriteRun {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Byte step per iteration.
+        stride: u64,
+        /// Element count.
+        n: u64,
+    },
+    /// A counted loop template (boxed: nests are rarer and much larger
+    /// than the flat variants).
+    Nest(Box<Nest>),
+}
+
+impl MacroOp {
+    /// Number of expansion steps (loop iterations; 1 for `One`). The
+    /// stream cursor counts iterations in `0..total_iters()`.
+    #[inline]
+    pub fn total_iters(&self) -> u64 {
+        match self {
+            MacroOp::One(_) => 1,
+            MacroOp::ComputeRun { n, .. }
+            | MacroOp::ReadRun { n, .. }
+            | MacroOp::WriteRun { n, .. } => *n,
+            MacroOp::Nest(nest) => nest.n,
+        }
+    }
+
+    /// Total scalar ops this macro-op expands to.
+    pub fn ops_len(&self) -> u64 {
+        match self {
+            MacroOp::One(_) => 1,
+            MacroOp::ComputeRun { n, .. }
+            | MacroOp::ReadRun { n, .. }
+            | MacroOp::WriteRun { n, .. } => *n,
+            MacroOp::Nest(nest) => nest.ops_len(),
+        }
+    }
+
+    /// The defining scalar expansion, in program order.
+    pub fn expand(&self) -> Expand<'_> {
+        Expand {
+            m: self,
+            iter: 0,
+            slot: 0,
+        }
+    }
+}
+
+/// Iterator over a macro-op's scalar expansion (see [`MacroOp::expand`]).
+pub struct Expand<'a> {
+    m: &'a MacroOp,
+    iter: u64,
+    slot: usize,
+}
+
+impl Iterator for Expand<'_> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        match self.m {
+            MacroOp::One(op) => {
+                if self.iter == 0 {
+                    self.iter = 1;
+                    Some(*op)
+                } else {
+                    None
+                }
+            }
+            MacroOp::ComputeRun { cost, n } => {
+                if self.iter < *n {
+                    self.iter += 1;
+                    Some(Op::Compute(*cost))
+                } else {
+                    None
+                }
+            }
+            MacroOp::ReadRun { base, stride, n } => {
+                if self.iter < *n {
+                    let a = base + self.iter * stride;
+                    self.iter += 1;
+                    Some(Op::Read(a))
+                } else {
+                    None
+                }
+            }
+            MacroOp::WriteRun { base, stride, n } => {
+                if self.iter < *n {
+                    let a = base + self.iter * stride;
+                    self.iter += 1;
+                    Some(Op::Write(a))
+                } else {
+                    None
+                }
+            }
+            MacroOp::Nest(nest) => loop {
+                if self.iter >= nest.n {
+                    return None;
+                }
+                let slots = nest.slots();
+                if self.slot >= slots.len() {
+                    self.slot = 0;
+                    self.iter += 1;
+                    continue;
+                }
+                let s = slots[self.slot];
+                self.slot += 1;
+                if let Some(op) = s.op_at(self.iter, nest.wmask) {
+                    return Some(op);
+                }
+            },
+        }
+    }
+}
+
+/// Expands `m` from iteration `from_iter` to its end into `out`.
+fn expand_from(m: &MacroOp, from_iter: u64, out: &mut Vec<Op>) {
+    match m {
+        MacroOp::One(op) => {
+            if from_iter == 0 {
+                out.push(*op);
+            }
+        }
+        MacroOp::ComputeRun { cost, n } => {
+            for _ in from_iter..*n {
+                out.push(Op::Compute(*cost));
+            }
+        }
+        MacroOp::ReadRun { base, stride, n } => {
+            for i in from_iter..*n {
+                out.push(Op::Read(base + i * stride));
+            }
+        }
+        MacroOp::WriteRun { base, stride, n } => {
+            for i in from_iter..*n {
+                out.push(Op::Write(base + i * stride));
+            }
+        }
+        MacroOp::Nest(nest) => {
+            for i in from_iter..nest.n {
+                nest.expand_iter_into(i, 0, out);
+            }
+        }
+    }
+}
+
+/// A chunk-at-a-time producer of macro-ops feeding an [`OpStream`].
+///
+/// Fill-in-place: the stream hands over its (cleared) refill buffer, so
+/// chunk capacity is recycled across phases and the generator performs no
+/// per-phase allocation. The source is consulted only when the buffer
+/// drains — once per *phase*, not per op.
+pub trait MacroSource: Send {
+    /// Appends the next phase's macro-ops into `buf` (handed over
+    /// cleared); returns false when the program has ended. May leave
+    /// `buf` empty (a phase that emits nothing).
+    fn next_chunk(&mut self, buf: &mut Vec<MacroOp>) -> bool;
+}
+
+/// A chunk-at-a-time producer of scalar ops; the scalar convenience form
+/// of [`MacroSource`] (each op is wrapped as [`MacroOp::One`] on refill,
+/// through a reused staging buffer).
+pub trait OpSource: Send {
+    /// Appends the next phase's operations into `buf` (handed over
+    /// cleared); returns false when the program has ended. May leave
+    /// `buf` empty (a phase that emits nothing).
+    fn next_chunk(&mut self, buf: &mut Vec<Op>) -> bool;
+}
+
+/// Adapts an [`OpSource`] to the macro layer with a reused staging buffer.
+struct ScalarChunks<S> {
+    inner: S,
+    buf: Vec<Op>,
+}
+
+impl<S: OpSource> MacroSource for ScalarChunks<S> {
+    fn next_chunk(&mut self, out: &mut Vec<MacroOp>) -> bool {
+        self.buf.clear();
+        if !self.inner.next_chunk(&mut self.buf) {
+            return false;
+        }
+        out.extend(self.buf.iter().map(|&op| MacroOp::One(op)));
+        true
+    }
+}
+
+/// A lazily generated per-processor operation stream.
+///
+/// Internally a two-level cursor over the macro-op layer. The *macro
+/// buffer* (`mbuf`) holds the current chunk with a position and an
+/// iteration index into the current macro-op; the *spill buffer* (`sbuf`)
+/// holds already-scalarized ops (a nest iteration tail, a peeked run) and
+/// is always served first. Iterating the stream yields exactly the
+/// concatenation of every macro-op's [`MacroOp::expand`], in order.
+///
+/// The engine's fast path walks the macro layer directly
+/// ([`spill`](Self::spill) / [`macro_run`](Self::macro_run) /
+/// [`consume_iters`](Self::consume_iters) and friends); everything else
+/// treats the stream as an `Iterator<Item = Op>`.
+pub struct OpStream {
+    mbuf: Vec<MacroOp>,
+    mpos: usize,
+    /// Iterations of `mbuf[mpos]` already consumed.
+    iter: u64,
+    sbuf: Vec<Op>,
+    spos: usize,
+    source: Option<Box<dyn MacroSource>>,
+}
+
+impl OpStream {
+    /// A stream over a fully materialized op vector (replays, tests).
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Self {
+            mbuf: Vec::new(),
+            mpos: 0,
+            iter: 0,
+            sbuf: ops,
+            spos: 0,
+            source: None,
+        }
+    }
+
+    /// A stream drawing macro-op chunks from `source` on demand.
+    pub fn from_macro_source(source: impl MacroSource + 'static) -> Self {
+        Self {
+            mbuf: Vec::new(),
+            mpos: 0,
+            iter: 0,
+            sbuf: Vec::new(),
+            spos: 0,
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// A stream drawing scalar chunks from `source` on demand.
+    pub fn from_source(source: impl OpSource + 'static) -> Self {
+        Self::from_macro_source(ScalarChunks {
+            inner: source,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Wraps an arbitrary op iterator, batching it into chunks so the
+    /// per-op cost stays an inlined buffer read. The extension point for
+    /// custom front-ends that aren't phase-structured.
+    pub fn lazy(it: impl Iterator<Item = Op> + Send + 'static) -> Self {
+        struct IterSource<I>(I);
+        impl<I: Iterator<Item = Op> + Send> OpSource for IterSource<I> {
+            fn next_chunk(&mut self, buf: &mut Vec<Op>) -> bool {
+                buf.extend(self.0.by_ref().take(1024));
+                !buf.is_empty()
+            }
+        }
+        Self::from_source(IterSource(it))
+    }
+
+    /// Re-wraps this stream as a scalar-only stream: every macro-op is
+    /// expanded to `One` ops at the source boundary. The expansion oracle
+    /// for differential tests — the engine sees the identical op sequence
+    /// with the compression stripped.
+    pub fn scalarized(self) -> Self {
+        struct Scalarize(OpStream);
+        impl MacroSource for Scalarize {
+            fn next_chunk(&mut self, buf: &mut Vec<MacroOp>) -> bool {
+                buf.extend(self.0.by_ref().take(1024).map(MacroOp::One));
+                !buf.is_empty()
+            }
+        }
+        Self::from_macro_source(Scalarize(self))
+    }
+
+    /// Advances `iter` by one on `mbuf[mpos]` (which has `n` iterations),
+    /// stepping to the next macro-op when the last iteration is consumed.
+    #[inline]
+    fn bump_iter(&mut self, n: u64) {
+        self.iter += 1;
+        if self.iter >= n {
+            self.mpos += 1;
+            self.iter = 0;
+        }
+    }
+
+    /// Ensures the macro cursor points at a macro-op, refilling from the
+    /// source as needed. `None` means the stream has ended (the spill
+    /// buffer may still hold ops).
+    #[inline]
+    fn cur(&mut self) -> Option<&MacroOp> {
+        while self.mpos >= self.mbuf.len() {
+            let src = self.source.as_mut()?;
+            self.mbuf.clear();
+            self.mpos = 0;
+            self.iter = 0;
+            if !src.next_chunk(&mut self.mbuf) {
+                self.source = None;
+                self.mbuf.clear();
+                return None;
+            }
+        }
+        Some(&self.mbuf[self.mpos])
+    }
+
+    // --- engine-facing macro cursor API ------------------------------
+
+    /// Already-scalarized ops awaiting consumption; always ordered before
+    /// the macro cursor. Does not refill.
+    #[inline]
+    pub fn spill(&self) -> &[Op] {
+        &self.sbuf[self.spos..]
+    }
+
+    /// Consumes the first `n` ops of [`spill`](Self::spill).
+    #[inline]
+    pub fn consume_spill(&mut self, n: usize) {
+        debug_assert!(self.spos + n <= self.sbuf.len(), "consumed past spill");
+        self.spos += n;
+    }
+
+    /// The remaining macro-ops of the current chunk, refilling first if
+    /// it is drained. Empty only when the stream has ended. The leading
+    /// macro-op may be partially consumed — see
+    /// [`cur_iter`](Self::cur_iter).
+    #[inline]
+    pub fn macro_run(&mut self) -> &[MacroOp] {
+        if self.cur().is_none() {
+            return &[];
+        }
+        &self.mbuf[self.mpos..]
+    }
+
+    /// Iterations of the current (leading) macro-op already consumed.
+    #[inline]
+    pub fn cur_iter(&self) -> u64 {
+        self.iter
+    }
+
+    /// Consumes `k` leading macro-ops, all of which must be
+    /// [`MacroOp::One`] (the engine's scalar fast loop).
+    #[inline]
+    pub fn consume_ones(&mut self, k: usize) {
+        debug_assert!(self.iter == 0);
+        debug_assert!(self.mpos + k <= self.mbuf.len());
+        debug_assert!(self.mbuf[self.mpos..self.mpos + k]
+            .iter()
+            .all(|m| matches!(m, MacroOp::One(_))));
+        self.mpos += k;
+    }
+
+    /// Consumes `k` iterations of the current macro-op, stepping past it
+    /// when fully consumed.
+    #[inline]
+    pub fn consume_iters(&mut self, k: u64) {
+        self.iter += k;
+        let n = self.mbuf[self.mpos].total_iters();
+        debug_assert!(self.iter <= n, "consumed past macro-op");
+        if self.iter >= n {
+            self.mpos += 1;
+            self.iter = 0;
+        }
+    }
+
+    /// Scalarizes the slots `from_slot..` of the current nest iteration
+    /// into the (drained) spill buffer and advances the iteration cursor.
+    /// The engine uses this when it must abandon a nest iteration midway
+    /// (a miss or deadline bail): the unretired tail goes through the
+    /// general per-op path in exact program order.
+    pub fn spill_iter_tail(&mut self, from_slot: usize) {
+        debug_assert!(self.spos >= self.sbuf.len(), "spill not drained");
+        self.sbuf.clear();
+        self.spos = 0;
+        let iter = self.iter;
+        let n = match &self.mbuf[self.mpos] {
+            MacroOp::Nest(nest) => {
+                nest.expand_iter_into(iter, from_slot, &mut self.sbuf);
+                nest.n
+            }
+            m => unreachable!("spill_iter_tail on non-nest {m:?}"),
+        };
+        self.bump_iter(n);
+    }
+
+    // --- scalar peek API ---------------------------------------------
+
+    /// The remaining buffered scalar run, without consuming it. When the
+    /// spill buffer is drained, the whole remaining current chunk is
+    /// scalarized (refilling from the source first if needed) so callers
+    /// see runs comparable to the pre-macro chunks. Returns an empty
+    /// slice only when the stream has ended.
+    pub fn peek_run(&mut self) -> &[Op] {
+        if self.spos >= self.sbuf.len() {
+            self.sbuf.clear();
+            self.spos = 0;
+            while self.sbuf.is_empty() {
+                if self.cur().is_none() {
+                    break;
+                }
+                while self.mpos < self.mbuf.len() {
+                    expand_from(&self.mbuf[self.mpos], self.iter, &mut self.sbuf);
+                    self.mpos += 1;
+                    self.iter = 0;
+                }
+            }
+        }
+        &self.sbuf[self.spos..]
+    }
+
+    /// Consumes the first `n` ops of the run last returned by
+    /// [`peek_run`](Self::peek_run).
+    ///
+    /// # Panics
+    /// In debug builds, if `n` exceeds the buffered run length.
+    #[inline]
+    pub fn consume(&mut self, n: usize) {
+        self.consume_spill(n);
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    #[inline]
+    fn next(&mut self) -> Option<Op> {
+        loop {
+            if let Some(&op) = self.sbuf.get(self.spos) {
+                self.spos += 1;
+                return Some(op);
+            }
+            self.cur()?;
+            let iter = self.iter;
+            match &self.mbuf[self.mpos] {
+                MacroOp::One(op) => {
+                    let op = *op;
+                    self.mpos += 1;
+                    return Some(op);
+                }
+                MacroOp::ComputeRun { cost, n } => {
+                    let (c, n) = (*cost, *n);
+                    self.bump_iter(n);
+                    return Some(Op::Compute(c));
+                }
+                MacroOp::ReadRun { base, stride, n } => {
+                    let (a, n) = (base + iter * stride, *n);
+                    self.bump_iter(n);
+                    return Some(Op::Read(a));
+                }
+                MacroOp::WriteRun { base, stride, n } => {
+                    let (a, n) = (base + iter * stride, *n);
+                    self.bump_iter(n);
+                    return Some(Op::Write(a));
+                }
+                MacroOp::Nest(_) => {
+                    // Scalarize one iteration into the spill buffer and
+                    // serve from there (it may be empty: all-masked).
+                    self.sbuf.clear();
+                    self.spos = 0;
+                    let n = match &self.mbuf[self.mpos] {
+                        MacroOp::Nest(nest) => {
+                            nest.expand_iter_into(iter, 0, &mut self.sbuf);
+                            nest.n
+                        }
+                        _ => unreachable!(),
+                    };
+                    self.bump_iter(n);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// An [`OpSource`] emitting a fixed schedule of phases, some of which
+    /// may be empty (the shared "gappy" fixture).
+    struct Phased(std::vec::IntoIter<Vec<Op>>);
+
+    fn gappy(phases: Vec<Vec<Op>>) -> Phased {
+        Phased(phases.into_iter())
+    }
+
+    impl OpSource for Phased {
+        fn next_chunk(&mut self, buf: &mut Vec<Op>) -> bool {
+            match self.0.next() {
+                Some(phase) => {
+                    buf.extend(phase);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
 
     #[test]
     fn stream_from_ops_iterates_in_order() {
@@ -188,19 +753,13 @@ mod tests {
 
     #[test]
     fn empty_chunks_are_skipped() {
-        struct Gappy(u32);
-        impl OpSource for Gappy {
-            fn next_chunk(&mut self) -> Option<Vec<Op>> {
-                self.0 += 1;
-                match self.0 {
-                    1 | 3 => Some(Vec::new()), // phases that emit nothing
-                    2 => Some(vec![Op::Compute(7)]),
-                    4 => Some(vec![Op::Barrier(1)]),
-                    _ => None,
-                }
-            }
-        }
-        let got: Vec<Op> = OpStream::from_source(Gappy(0)).collect();
+        let s = OpStream::from_source(gappy(vec![
+            Vec::new(), // phases that emit nothing
+            vec![Op::Compute(7)],
+            Vec::new(),
+            vec![Op::Barrier(1)],
+        ]));
+        let got: Vec<Op> = s.collect();
         assert_eq!(got, vec![Op::Compute(7), Op::Barrier(1)]);
     }
 
@@ -239,21 +798,216 @@ mod tests {
 
     #[test]
     fn peek_run_skips_empty_chunks() {
-        struct Gappy(u32);
-        impl OpSource for Gappy {
-            fn next_chunk(&mut self) -> Option<Vec<Op>> {
-                self.0 += 1;
-                match self.0 {
-                    1 => Some(Vec::new()),
-                    2 => Some(vec![Op::Compute(7)]),
-                    _ => None,
-                }
-            }
-        }
-        let mut s = OpStream::from_source(Gappy(0));
+        let mut s = OpStream::from_source(gappy(vec![Vec::new(), vec![Op::Compute(7)]]));
         assert_eq!(s.peek_run(), &[Op::Compute(7)]);
         s.consume(1);
         assert!(s.peek_run().is_empty());
+    }
+
+    /// A [`MacroSource`] emitting a fixed schedule of macro chunks.
+    struct MacroPhased(std::vec::IntoIter<Vec<MacroOp>>);
+
+    impl MacroSource for MacroPhased {
+        fn next_chunk(&mut self, buf: &mut Vec<MacroOp>) -> bool {
+            match self.0.next() {
+                Some(phase) => {
+                    buf.extend(phase);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    fn sample_macros() -> Vec<MacroOp> {
+        let mut nest = Nest::new(5);
+        nest.read(1 << 20, 4)
+            .read((1 << 21) + 8, 64)
+            .compute(3)
+            .write_if(1 << 22, 4);
+        nest.set_wmask(0b10110);
+        let mut tail = Nest::new(3);
+        tail.compute(2).write(4096, 8);
+        vec![
+            MacroOp::One(Op::Acquire(1)),
+            MacroOp::ComputeRun { cost: 4, n: 3 },
+            MacroOp::ReadRun {
+                base: 640,
+                stride: 4,
+                n: 6,
+            },
+            MacroOp::Nest(Box::new(nest)),
+            MacroOp::WriteRun {
+                base: 1 << 23,
+                stride: 16,
+                n: 4,
+            },
+            MacroOp::Nest(Box::new(tail)),
+            MacroOp::One(Op::Release(1)),
+        ]
+    }
+
+    #[test]
+    fn stream_next_matches_expand_oracle() {
+        let macros = sample_macros();
+        let oracle: Vec<Op> = macros.iter().flat_map(|m| m.expand()).collect();
+        assert_eq!(
+            oracle.len() as u64,
+            macros.iter().map(|m| m.ops_len()).sum::<u64>()
+        );
+        // Via the macro source (single chunk).
+        let got: Vec<Op> =
+            OpStream::from_macro_source(MacroPhased(vec![macros.clone()].into_iter())).collect();
+        assert_eq!(got, oracle);
+        // Split across chunks at every boundary.
+        for split in 0..=macros.len() {
+            let (a, b) = macros.split_at(split);
+            let got: Vec<Op> =
+                OpStream::from_macro_source(MacroPhased(vec![a.to_vec(), b.to_vec()].into_iter()))
+                    .collect();
+            assert_eq!(got, oracle, "split at {split}");
+        }
+        // And scalarized() is an identity on the op sequence.
+        let s = OpStream::from_macro_source(MacroPhased(vec![macros].into_iter()));
+        let got: Vec<Op> = s.scalarized().collect();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn run_expansion_visits_exact_affine_addresses() {
+        // Property: ReadRun/WriteRun expansion visits exactly
+        // base + i*stride for i in 0..n, with no wraparound, for a spread
+        // of (base, stride, n) drawn from a deterministic generator.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let base = rng() % (1 << 45);
+            let stride = [0u64, 4, 8, 64, 4096][rng() as usize % 5];
+            let n = 1 + rng() % 300;
+            let reads = MacroOp::ReadRun { base, stride, n };
+            let writes = MacroOp::WriteRun { base, stride, n };
+            let got_r: Vec<Op> = reads.expand().collect();
+            let got_w: Vec<Op> = writes.expand().collect();
+            assert_eq!(got_r.len() as u64, n);
+            assert_eq!(got_w.len() as u64, n);
+            for (i, (r, w)) in got_r.iter().zip(&got_w).enumerate() {
+                let a = base
+                    .checked_add((i as u64).checked_mul(stride).unwrap())
+                    .expect("no wraparound");
+                assert_eq!(*r, Op::Read(a));
+                assert_eq!(*w, Op::Write(a));
+            }
+        }
+    }
+
+    #[test]
+    fn nest_masked_writes_follow_wmask() {
+        let mut nest = Nest::new(4);
+        nest.read(0, 4).write_if(1024, 4);
+        nest.set_wmask(0b0101);
+        let got: Vec<Op> = MacroOp::Nest(Box::new(nest)).expand().collect();
+        assert_eq!(
+            got,
+            vec![
+                Op::Read(0),
+                Op::Write(1024),
+                Op::Read(4),
+                Op::Read(8),
+                Op::Write(1032),
+                Op::Read(12),
+            ]
+        );
+    }
+
+    #[test]
+    fn peek_run_crosses_chunk_refill_mid_run() {
+        // Start consuming a run via next(), leaving the cursor mid-run;
+        // peek_run must scalarize the remainder, and after consuming it
+        // the next peek refills across the chunk boundary.
+        let mut s = OpStream::from_macro_source(MacroPhased(
+            vec![
+                vec![MacroOp::ReadRun {
+                    base: 0,
+                    stride: 4,
+                    n: 5,
+                }],
+                vec![MacroOp::WriteRun {
+                    base: 1024,
+                    stride: 8,
+                    n: 4,
+                }],
+            ]
+            .into_iter(),
+        ));
+        assert_eq!(s.next(), Some(Op::Read(0)));
+        assert_eq!(s.next(), Some(Op::Read(4)));
+        // Mid-run peek: the remaining three reads of the first run.
+        assert_eq!(s.peek_run(), &[Op::Read(8), Op::Read(12), Op::Read(16)]);
+        s.consume(2);
+        assert_eq!(s.peek_run(), &[Op::Read(16)]);
+        s.consume(1);
+        // Drained: the next peek crosses into the second chunk.
+        assert_eq!(
+            s.peek_run(),
+            &[
+                Op::Write(1024),
+                Op::Write(1032),
+                Op::Write(1040),
+                Op::Write(1048)
+            ]
+        );
+        s.consume(4);
+        assert!(s.peek_run().is_empty());
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn engine_cursor_walks_iterations_and_spills_tails() {
+        let mut nest = Nest::new(3);
+        nest.read(0, 64).compute(2).write(4096, 64);
+        let mut s = OpStream::from_macro_source(MacroPhased(
+            vec![vec![
+                MacroOp::One(Op::Compute(9)),
+                MacroOp::Nest(Box::new(nest)),
+                MacroOp::ReadRun {
+                    base: 1 << 20,
+                    stride: 4,
+                    n: 4,
+                },
+            ]]
+            .into_iter(),
+        ));
+        assert!(s.spill().is_empty());
+        assert!(matches!(s.macro_run()[0], MacroOp::One(Op::Compute(9))));
+        s.consume_ones(1);
+        // Retire iteration 0 wholesale, bail out of iteration 1 after the
+        // read slot: the tail (compute, write) must spill.
+        assert!(matches!(s.macro_run()[0], MacroOp::Nest(_)));
+        s.consume_iters(1);
+        assert_eq!(s.cur_iter(), 1);
+        s.spill_iter_tail(1);
+        assert_eq!(s.spill(), &[Op::Compute(2), Op::Write(4096 + 64)]);
+        // The iterator serves the spill, then iteration 2, then the run.
+        let rest: Vec<Op> = s.collect();
+        assert_eq!(
+            rest,
+            vec![
+                Op::Compute(2),
+                Op::Write(4096 + 64),
+                Op::Read(128),
+                Op::Compute(2),
+                Op::Write(4096 + 128),
+                Op::Read(1 << 20),
+                Op::Read((1 << 20) + 4),
+                Op::Read((1 << 20) + 8),
+                Op::Read((1 << 20) + 12),
+            ]
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! Paper reuse class: **Low** (and read latency is a small fraction of run
 //! time — the shared cache barely matters; Fig. 7).
 
-use crate::gen::{chunked, partition, stream_rng, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::gen::{chunked, partition, stream_rng, Alloc, ELEM};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -62,9 +62,9 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
         .map(|me| {
             let mine = partition(nk, procs, me);
             let lh = lhist[me];
-            chunked(move |pass| {
+            chunked(move |pass, c| {
                 if pass >= prm.passes {
-                    return None;
+                    return false;
                 }
                 let mut rng = stream_rng(seed ^ pass, APP_TAG, me);
                 let (from, to) = if pass % 2 == 0 {
@@ -72,8 +72,6 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 } else {
                     (dst, src)
                 };
-                let mut c =
-                    Chunk::with_capacity(((mine.end - mine.start) * 4 + prm.radix * 4) as usize);
                 let bar = (pass as u32) * 3;
                 // Histogram my keys.
                 for i in mine.clone() {
@@ -86,15 +84,13 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 }
                 c.barrier(bar);
                 // Publish my histogram; read everyone's for the prefix sum.
-                for b in 0..prm.radix {
-                    c.write(ghist, me as u64 * prm.radix + b, ELEM);
-                }
+                c.write_run(ghist, me as u64 * prm.radix, prm.radix, ELEM);
                 c.barrier(bar + 1);
                 for p in 0..procs as u64 {
-                    for b in (0..prm.radix).step_by(4) {
-                        c.read(ghist, p * prm.radix + b, ELEM);
-                        c.compute(1);
-                    }
+                    // Sampled read of p's histogram row: every 4th counter.
+                    let mut body = Nest::new(prm.radix / 4);
+                    body.read(ghist + p * prm.radix * ELEM, 4 * ELEM).compute(1);
+                    c.nest(body);
                 }
                 c.barrier(bar + 2);
                 // Permutation: read my keys in order; look up and bump the
@@ -109,7 +105,7 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                     c.write(lh, bucket, ELEM);
                     c.write(to, rng.below(nk), ELEM);
                 }
-                Some(c)
+                true
             })
         })
         .collect()

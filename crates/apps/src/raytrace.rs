@@ -9,7 +9,7 @@
 //!
 //! Paper reuse class: **Moderate**.
 
-use crate::gen::{chunked, stream_rng, Alloc, Chunk};
+use crate::gen::{chunked, stream_rng, Alloc};
 use crate::ops::OpStream;
 use crate::workload::Workload;
 use memsys::AddressMap;
@@ -77,20 +77,18 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 .filter(|t| (*t as usize) % procs == me)
                 .collect();
             let mut next = 0usize;
-            chunked(move |_phase| {
+            chunked(move |_phase, c| {
                 if next >= tiles.len() {
                     if next == tiles.len() {
                         next += 1;
-                        let mut c = Chunk::default();
                         c.barrier(0); // final frame barrier
-                        return Some(c);
+                        return true;
                     }
-                    return None;
+                    return false;
                 }
                 let tile = tiles[next];
                 next += 1;
                 let mut rng = stream_rng(seed ^ tile, APP_TAG, me);
-                let mut c = Chunk::with_capacity((prm.tile * prm.tile * 24) as usize);
                 // Grab the next tile from the shared queue.
                 c.acquire(QUEUE_LOCK);
                 c.read(counter, 0, 8);
@@ -126,7 +124,7 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                         c.write(image, pix, 4);
                     }
                 }
-                Some(c)
+                true
             })
         })
         .collect()

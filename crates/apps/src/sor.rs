@@ -16,8 +16,8 @@
 //!
 //! Paper reuse class: **Moderate**.
 
-use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::gen::{chunked, partition, Alloc, ELEM};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -55,25 +55,29 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
         .map(|me| {
             let cols = partition(n - 2, procs, me);
             let iters = p.iters;
-            chunked(move |iter| {
+            chunked(move |iter, c| {
                 if iter >= iters {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(((cols.end - cols.start) * (n - 2) * 7) as usize);
+                let m = cols.end - cols.start;
                 for r in 1..n - 1 {
-                    for col in cols.clone() {
-                        let col = col + 1; // interior columns are 1..n-1
-                        c.read(grid, (r - 1) * n + col, ELEM);
-                        c.read(grid, (r + 1) * n + col, ELEM);
-                        c.read(grid, r * n + col - 1, ELEM);
-                        c.read(grid, r * n + col + 1, ELEM);
-                        c.read(grid, r * n + col, ELEM);
-                        c.compute(COMPUTE_PER_POINT);
-                        c.write(grid, r * n + col, ELEM);
+                    if m == 0 {
+                        break;
                     }
+                    let col = cols.start + 1; // interior columns are 1..n-1
+                    let at = |row: u64, col: u64| grid + (row * n + col) * ELEM;
+                    let mut body = Nest::new(m);
+                    body.read(at(r - 1, col), ELEM)
+                        .read(at(r + 1, col), ELEM)
+                        .read(at(r, col - 1), ELEM)
+                        .read(at(r, col + 1), ELEM)
+                        .read(at(r, col), ELEM)
+                        .compute(COMPUTE_PER_POINT)
+                        .write(at(r, col), ELEM);
+                    c.nest(body);
                 }
                 c.barrier(iter as u32);
-                Some(c)
+                true
             })
         })
         .collect()

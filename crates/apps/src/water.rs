@@ -12,8 +12,8 @@
 //! Paper reuse class: **Moderate** (the 32 KB molecule arrays fit the
 //! shared cache almost exactly).
 
-use crate::gen::{chunked, partition, Alloc, Chunk};
-use crate::ops::OpStream;
+use crate::gen::{chunked, partition, Alloc};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -59,13 +59,10 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(|me| {
             let mine = partition(n, procs, me);
-            chunked(move |step| {
+            chunked(move |step, c| {
                 if step >= prm.steps {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(
-                    ((mine.end - mine.start) * (prm.neighbors * 2 + 12)) as usize + 8,
-                );
                 let bar = (step as u32) * 2;
                 // Force computation: my molecules against their spatial
                 // neighborhoods (a deterministic mix of nearby indices —
@@ -104,14 +101,17 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
                 }
                 c.barrier(bar);
                 // Position update (local to my molecules).
-                for i in mine.clone() {
-                    c.read(force, i, MOL);
-                    c.read(pos, i, MOL);
-                    c.compute(12);
-                    c.write(pos, i, MOL);
+                let (i0, ni) = (mine.start, mine.end - mine.start);
+                if ni > 0 {
+                    let mut upd = Nest::new(ni);
+                    upd.read(force + i0 * MOL, MOL)
+                        .read(pos + i0 * MOL, MOL)
+                        .compute(12)
+                        .write(pos + i0 * MOL, MOL);
+                    c.nest(upd);
                 }
                 c.barrier(bar + 1);
-                Some(c)
+                true
             })
         })
         .collect()

@@ -16,8 +16,8 @@
 //! headline WF result: the shared cache cuts its *synchronization* time by
 //! 56%, giving NetCache its largest win (105% vs DMON-I, 99% vs DMON-U).
 
-use crate::gen::{chunked, partition, Alloc, Chunk, ELEM};
-use crate::ops::OpStream;
+use crate::gen::{chunked, partition, Alloc, ELEM};
+use crate::ops::{Nest, OpStream};
 use crate::workload::Workload;
 use memsys::AddressMap;
 
@@ -60,37 +60,49 @@ pub(crate) fn streams(w: &Workload, map: &AddressMap) -> Vec<OpStream> {
     (0..procs)
         .map(|me| {
             let rows = partition(n, procs, me);
-            chunked(move |k| {
+            chunked(move |k, c| {
                 if k >= n {
-                    return None;
+                    return false;
                 }
-                let mut c = Chunk::with_capacity(((rows.end - rows.start) * n * 3) as usize + 8);
                 // Serial section: the owner of row k sweeps it first
                 // (modeling the refresh/broadcast step of the parallel
                 // algorithm). Everyone else arrives at the barrier early
                 // and waits — the paper's load imbalance.
                 if rows.contains(&k) {
-                    for j in 0..n {
-                        c.read(d, k * n + j, ELEM);
-                        c.compute(1);
-                        c.write(d, k * n + j, ELEM);
-                    }
+                    let mut sweep = Nest::new(n);
+                    sweep
+                        .read(d + k * n * ELEM, ELEM)
+                        .compute(1)
+                        .write(d + k * n * ELEM, ELEM);
+                    c.nest(sweep);
                 }
                 c.barrier(2 * k as u32);
                 for i in rows.clone() {
                     c.read(d, i * n + k, ELEM); // d[i][k]
                     c.compute(1);
-                    for j in 0..n {
-                        c.read(d, k * n + j, ELEM); // hot row k
-                        c.read(d, i * n + j, ELEM);
-                        c.compute(5);
-                        if improves(i, j, k) {
-                            c.write(d, i * n + j, ELEM);
+                    // Relaxation loop in masked-nest blocks: the gate bit
+                    // for column j carries the data-dependent write.
+                    let mut j = 0;
+                    while j < n {
+                        let m = (n - j).min(64);
+                        let mut mask = 0u64;
+                        for t in 0..m {
+                            if improves(i, j + t, k) {
+                                mask |= 1 << t;
+                            }
                         }
+                        let mut body = Nest::new(m);
+                        body.read(d + (k * n + j) * ELEM, ELEM) // hot row k
+                            .read(d + (i * n + j) * ELEM, ELEM)
+                            .compute(5)
+                            .write_if(d + (i * n + j) * ELEM, ELEM);
+                        body.set_wmask(mask);
+                        c.nest(body);
+                        j += m;
                     }
                 }
                 c.barrier(2 * k as u32 + 1);
-                Some(c)
+                true
             })
         })
         .collect()

@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod proto;
 pub mod ring;
 pub mod runner;
+pub mod sharers;
 pub mod sweep;
 
 pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};

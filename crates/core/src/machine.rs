@@ -17,9 +17,10 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use crate::sharers::SharerMap;
 use desim::{EventQueue, Time};
-use memsys::{AddressMap, PushOutcome, ReadOutcome};
-use netcache_apps::{Op, OpStream, Workload};
+use memsys::{Addr, AddressMap, PushOutcome, ReadOutcome};
+use netcache_apps::{MacroOp, Nest, Op, OpStream, Slot, Workload};
 
 use crate::config::SysConfig;
 use crate::metrics::{NodeStats, RunReport};
@@ -88,6 +89,152 @@ enum Event {
     WbKick(usize),
 }
 
+/// The per-processor elision context: disjoint borrows of everything the
+/// elided fast path mutates, split out of [`Machine`] so the op stream
+/// can be walked while ops are applied.
+struct ElideEnv<'a> {
+    node: &'a mut Node,
+    st: &'a mut NodeStats,
+    queue: &'a mut EventQueue<Event>,
+    kick_pending: &'a mut bool,
+    map: &'a AddressMap,
+    l2_lat: Time,
+    pace: u64,
+    retiring: bool,
+    p: usize,
+    policy: ElisionPolicy,
+    /// Batch segmentation granularity: the finest private line size
+    /// (L1 lines may be smaller than the coherence block), so a segment
+    /// never spans two L1 lines and one probe speaks for every address.
+    seg_bytes: u64,
+}
+
+impl ElideEnv<'_> {
+    /// Applies one scalar op exactly as the general path would, for the
+    /// elision-safe classes. Returns `false` — with *nothing* mutated —
+    /// when the op must go to the general path instead: a sync op, a
+    /// policy-rejected class, a read missing all node-private state, or
+    /// a write that would stall.
+    #[inline]
+    fn apply(&mut self, op: Op, now: &mut Time) -> bool {
+        match op {
+            Op::Compute(n) if self.policy.compute => {
+                let scaled = (n as Time * self.pace).div_ceil(100);
+                *now += scaled;
+                self.st.busy += scaled;
+                true
+            }
+            Op::Read(addr) if self.policy.private_read_hits => {
+                if self.node.l1.read_hit(addr) {
+                    self.st.reads += 1;
+                    self.st.l1_hits += 1;
+                    self.st.busy += 1;
+                    *now += 1;
+                } else if self.node.l2.read_hit(addr) {
+                    self.st.reads += 1;
+                    self.st.l2_hits += 1;
+                    self.node.l1.fill(addr, false);
+                    self.st.busy += 1;
+                    self.st.read_stall += self.l2_lat - 1;
+                    *now += self.l2_lat;
+                } else if self.node.wb.holds_block(self.map.block_of(addr)) {
+                    self.st.reads += 1;
+                    self.st.wb_forwards += 1;
+                    self.st.busy += 1;
+                    self.st.read_stall += 1;
+                    *now += 2;
+                } else {
+                    // Private miss: the general path owns the run-ahead
+                    // resync and the protocol transaction.
+                    return false;
+                }
+                true
+            }
+            Op::Write(addr) if self.policy.wb_pushes => {
+                let block = self.map.block_of(addr);
+                if self.node.wb.is_full() && !self.node.wb.holds_block(block) {
+                    // Would stall; the general path pushes (counting the
+                    // full event exactly once) and blocks.
+                    return false;
+                }
+                let out = self.node.wb.push(
+                    block,
+                    addr,
+                    self.map.word_in_block(addr),
+                    self.map.is_shared(addr),
+                );
+                debug_assert!(!matches!(out, PushOutcome::Full));
+                *now += 1;
+                self.st.busy += 1;
+                self.st.writes += 1;
+                self.node.l1.write_update(addr, false);
+                self.node.l2.write_update(addr, false);
+                if !self.retiring && !*self.kick_pending {
+                    *self.kick_pending = true;
+                    Machine::schedule_clamped(self.queue, *now, Event::WbKick(self.p));
+                }
+                true
+            }
+            // Sync ops (and any class the policy rejects): general path.
+            _ => false,
+        }
+    }
+
+    /// Iterations of an affine walk from `a` with step `stride` that stay
+    /// inside `a`'s finest private line (`seg_bytes`), capped at `rem`.
+    /// A zero stride never leaves the line. L1 lines nest inside L2
+    /// blocks, so a segment also stays within one coherence block and one
+    /// write-buffer entry.
+    #[inline]
+    fn seg_iters(&self, a: Addr, stride: u64, rem: u64) -> u64 {
+        if stride == 0 {
+            return rem;
+        }
+        let gap = self.seg_bytes - (a & (self.seg_bytes - 1));
+        let iters = if stride.is_power_of_two() {
+            (gap + stride - 1) >> stride.trailing_zeros()
+        } else {
+            gap.div_ceil(stride)
+        };
+        iters.min(rem)
+    }
+
+    /// [`seg_iters`](Self::seg_iters) at coherence-block granularity:
+    /// iterations of the walk that stay inside `a`'s block, capped at
+    /// `rem`. One write-buffer entry (and one L2 tag) covers the span;
+    /// the L1 lines inside it need no individual stamp refreshes because
+    /// elision only runs on direct-mapped caches, where stamps never
+    /// influence a victim choice.
+    #[inline]
+    fn blk_iters(&self, a: Addr, stride: u64, rem: u64) -> u64 {
+        if stride == 0 {
+            return rem;
+        }
+        let gap = self.map.block_bytes - (a & (self.map.block_bytes - 1));
+        let iters = if stride.is_power_of_two() {
+            (gap + stride - 1) >> stride.trailing_zeros()
+        } else {
+            gap.div_ceil(stride)
+        };
+        iters.min(rem)
+    }
+
+    /// Commits a batch of `w` same-block writes whose buffer entry
+    /// already exists: one coalescing probe, one stamp update per cache.
+    /// No stall is possible and no kick is needed — the push that created
+    /// the entry scheduled one, or a retirement is already in flight.
+    #[inline]
+    fn commit_coalesced(&mut self, idx: usize, a: Addr, mask: u32, w: u64, now: &mut Time) {
+        self.node.wb.coalesce_at(idx, self.map.block_of(a), mask, w);
+        debug_assert!(self.retiring || *self.kick_pending);
+        self.node.l1.write_update_run(a, w, false);
+        self.node.l2.write_update_run(a, w, false);
+        self.st.writes += w;
+        self.st.busy += w;
+        *now += w;
+    }
+}
+
 /// Reusable cross-run allocations. A sweep runs thousands of machines
 /// back to back; the event queue's timing wheel is the one allocation
 /// worth carrying over (slot buffers, occupancy bitmap, overflow heap).
@@ -129,6 +276,8 @@ pub struct Machine {
     ops_done: u64,
     /// Ops retired inside elided runs.
     elided: u64,
+    /// Which nodes ever filled each block (exact-negative update filter).
+    sharers: SharerMap,
 }
 
 impl Machine {
@@ -242,6 +391,7 @@ impl Machine {
             elide,
             ops_done: 0,
             elided: 0,
+            sharers: SharerMap::new(),
         }
     }
 
@@ -364,8 +514,13 @@ impl Machine {
             self.wake(p, t, Stall::Wb);
         }
         let ack_at = if entry.shared {
-            self.proto
-                .retire_shared_write(&mut self.nodes, p, &entry, t)
+            self.proto.retire_shared_write(
+                &mut self.nodes,
+                p,
+                &entry,
+                t,
+                self.sharers.sharers(entry.block),
+            )
         } else {
             // Private write: drains into the local memory, no coherence.
             let (applied, _) = self.nodes[p].mem.apply_update(t + 1, entry.words());
@@ -387,6 +542,11 @@ impl Machine {
 
     /// Fills the L2 (routing any eviction through the protocol) and L1.
     fn fill_caches(&mut self, p: usize, addr: u64, t: Time) {
+        // Every peer-visible cache allocation funnels through here: note
+        // the sharer bit that licenses update broadcasts to probe `p`.
+        // (L1-only fills elsewhere copy a block the L2 already holds, so
+        // their bit is already set.)
+        self.sharers.note(p, self.map.block_of(addr));
         if let Some(ev) = self.nodes[p].l2.fill(addr, false) {
             self.proto
                 .evicted_l2(&mut self.nodes, p, ev.block, ev.dirty, t);
@@ -439,14 +599,51 @@ impl Machine {
     /// — instead of once per trip around `run_proc`'s general loop — is
     /// invisible to the rest of the machine: the per-op state mutations,
     /// stats, local-time advance, and any WbKick scheduling are replicated
-    /// exactly (see DESIGN.md, "Event elision"). Stops at the first op
-    /// that may block, miss, or synchronize, leaving it unconsumed for the
-    /// general path, or when `now` passes `deadline` (the slice cap).
+    /// exactly (see DESIGN.md, "Event elision" and "Macro-op streams").
+    /// Stops at the first op that may block, miss, or synchronize, leaving
+    /// it unconsumed for the general path, or when `now` passes `deadline`
+    /// (the slice cap).
     ///
-    /// `read_hit` probes mutate nothing on a miss, so bailing to the
-    /// general path leaves the caches bit-identical to never having
-    /// probed; on a hit they perform exactly the mutations `read` would.
+    /// Beyond the scalar per-op path ([`ElideEnv::apply`]), this walks the
+    /// stream's *macro* form: an affine `ReadRun`/`WriteRun`/`Nest` that
+    /// stays inside node-private state retires in O(lines touched) — one
+    /// cache or buffer probe per distinct private line — instead of
+    /// O(ops). The batched commits reproduce the scalar mutations to the
+    /// bit: counters and local time are additive, and same-line run
+    /// probes leave the final LRU stamp and dirty bits identical to the
+    /// per-op loop. Any op the batch analysis cannot prove safe falls
+    /// back to the scalar path, which bails to the general path exactly
+    /// where the per-op engine did.
     fn elide_run(&mut self, p: usize, now: &mut Time, deadline: Time) {
+        // The nest is copied out of the stream borrow on purpose: the
+        // retirement loop below consumes the stream mutably, and one
+        // copy per nest head amortizes over the whole nest.
+        #[allow(clippy::large_enum_variant)]
+        enum Head {
+            /// Stream exhausted.
+            End,
+            /// `k` leading scalar ops were applied in place; `bail` means
+            /// the next one needs the general path.
+            Ones {
+                k: usize,
+                bail: bool,
+            },
+            CRun {
+                cost: u32,
+                rem: u64,
+            },
+            RRun {
+                a: Addr,
+                stride: u64,
+                rem: u64,
+            },
+            WRun {
+                a: Addr,
+                stride: u64,
+                rem: u64,
+            },
+            Nested(Nest),
+        }
         let Machine {
             procs,
             nodes,
@@ -461,84 +658,479 @@ impl Machine {
             ..
         } = self;
         let proc = &mut procs[p];
-        let node = &mut nodes[p];
-        let st = &mut stats[p];
-        let pace = proc.pace;
-        let l2_lat = cfg.l2_hit_latency;
-        // No retirement can start inside this loop: a WbKick only fires
-        // from the event queue, which we are not touching.
-        let retiring = proc.retiring;
-        let ElisionPolicy {
-            compute,
-            private_read_hits,
-            wb_pushes,
-        } = *elide;
-        let run = proc.stream.peek_run();
-        let mut taken = 0usize;
-        for &op in run {
-            match op {
-                Op::Compute(n) if compute => {
-                    let scaled = (n as Time * pace).div_ceil(100);
-                    *now += scaled;
-                    st.busy += scaled;
-                }
-                Op::Read(addr) if private_read_hits => {
-                    if node.l1.read_hit(addr) {
-                        st.reads += 1;
-                        st.l1_hits += 1;
-                        st.busy += 1;
-                        *now += 1;
-                    } else if node.l2.read_hit(addr) {
-                        st.reads += 1;
-                        st.l2_hits += 1;
-                        node.l1.fill(addr, false);
-                        st.busy += 1;
-                        st.read_stall += l2_lat - 1;
-                        *now += l2_lat;
-                    } else if node.wb.holds_block(map.block_of(addr)) {
-                        st.reads += 1;
-                        st.wb_forwards += 1;
-                        st.busy += 1;
-                        st.read_stall += 1;
-                        *now += 2;
-                    } else {
-                        // Private miss: the general path owns the
-                        // run-ahead resync and the protocol transaction.
+        let mut env = ElideEnv {
+            node: &mut nodes[p],
+            st: &mut stats[p],
+            queue,
+            kick_pending: &mut kick_pending[p],
+            map,
+            l2_lat: cfg.l2_hit_latency,
+            pace: proc.pace,
+            // No retirement can start inside this loop: a WbKick only
+            // fires from the event queue, which we are not touching.
+            retiring: proc.retiring,
+            p,
+            policy: *elide,
+            seg_bytes: cfg.l1.block_bytes.min(map.block_bytes),
+        };
+        let stream = &mut proc.stream;
+        let mut done = 0u64;
+        'run: loop {
+            // Scalar spill first: a partial nest iteration left over from
+            // an earlier bail or slice boundary.
+            let spill = stream.spill();
+            if !spill.is_empty() {
+                let len = spill.len();
+                let mut taken = 0usize;
+                for &op in spill {
+                    if !env.apply(op, now) {
+                        break;
+                    }
+                    taken += 1;
+                    if *now > deadline {
                         break;
                     }
                 }
-                Op::Write(addr) if wb_pushes => {
-                    let block = map.block_of(addr);
-                    if node.wb.is_full() && !node.wb.holds_block(block) {
-                        // Would stall; the general path pushes (counting
-                        // the full event exactly once) and blocks.
-                        break;
-                    }
-                    let out =
-                        node.wb
-                            .push(block, addr, map.word_in_block(addr), map.is_shared(addr));
-                    debug_assert!(!matches!(out, PushOutcome::Full));
-                    *now += 1;
-                    st.busy += 1;
-                    st.writes += 1;
-                    node.l1.write_update(addr, false);
-                    node.l2.write_update(addr, false);
-                    if !retiring && !kick_pending[p] {
-                        kick_pending[p] = true;
-                        Self::schedule_clamped(queue, *now, Event::WbKick(p));
-                    }
+                stream.consume_spill(taken);
+                done += taken as u64;
+                if taken < len || *now > deadline {
+                    break 'run;
                 }
-                // Sync ops (and any class the policy rejects): general path.
-                _ => break,
+                continue;
             }
-            taken += 1;
-            if *now > deadline {
-                break;
+            // Peek the macro head. `cur_iter` must be read before
+            // `macro_run` borrows the stream mutably; it is 0 whenever a
+            // refill happens, so the pre-refill value is always right.
+            let iter = stream.cur_iter();
+            let head = {
+                let ms = stream.macro_run();
+                match ms.first() {
+                    None => Head::End,
+                    Some(MacroOp::One(_)) => {
+                        // Apply consecutive scalars inside the borrow;
+                        // only the count needs to escape it.
+                        let mut k = 0usize;
+                        let mut bail = false;
+                        for m in ms {
+                            let MacroOp::One(op) = m else { break };
+                            if !env.apply(*op, now) {
+                                bail = true;
+                                break;
+                            }
+                            k += 1;
+                            if *now > deadline {
+                                break;
+                            }
+                        }
+                        Head::Ones { k, bail }
+                    }
+                    Some(&MacroOp::ComputeRun { cost, n }) => Head::CRun {
+                        cost,
+                        rem: n - iter,
+                    },
+                    Some(&MacroOp::ReadRun { base, stride, n }) => Head::RRun {
+                        a: base + iter * stride,
+                        stride,
+                        rem: n - iter,
+                    },
+                    Some(&MacroOp::WriteRun { base, stride, n }) => Head::WRun {
+                        a: base + iter * stride,
+                        stride,
+                        rem: n - iter,
+                    },
+                    Some(MacroOp::Nest(nest)) => Head::Nested(**nest),
+                }
+            };
+            match head {
+                Head::End => break 'run,
+                Head::Ones { k, bail } => {
+                    stream.consume_ones(k);
+                    done += k as u64;
+                    if bail || *now > deadline {
+                        break 'run;
+                    }
+                }
+                Head::CRun { cost, rem } => {
+                    if !env.policy.compute {
+                        break 'run;
+                    }
+                    let scaled = (cost as Time * env.pace).div_ceil(100);
+                    // Ops retire while their pre-op time is <= deadline,
+                    // so (deadline - now)/scaled + 1 of them fit.
+                    let k = rem.min((deadline - *now) / scaled + 1);
+                    *now += k * scaled;
+                    env.st.busy += k * scaled;
+                    stream.consume_iters(k);
+                    done += k;
+                    if *now > deadline {
+                        break 'run;
+                    }
+                }
+                Head::RRun {
+                    mut a,
+                    stride,
+                    mut rem,
+                } => {
+                    if !env.policy.private_read_hits {
+                        break 'run;
+                    }
+                    let mut taken = 0u64;
+                    let mut missed = false;
+                    while rem > 0 && *now <= deadline {
+                        let seg = env.seg_iters(a, stride, rem);
+                        let k_l1 = seg.min(deadline - *now + 1);
+                        let k = if env.node.l1.read_hit_run(a, k_l1) {
+                            env.st.reads += k_l1;
+                            env.st.l1_hits += k_l1;
+                            env.st.busy += k_l1;
+                            *now += k_l1;
+                            k_l1
+                        } else if env.node.l2.read_hit(a) {
+                            // One scalar op; its L1 fill promotes the rest
+                            // of the line for the next round.
+                            env.st.reads += 1;
+                            env.st.l2_hits += 1;
+                            env.node.l1.fill(a, false);
+                            env.st.busy += 1;
+                            env.st.read_stall += env.l2_lat - 1;
+                            *now += env.l2_lat;
+                            1
+                        } else if env.node.wb.holds_block(env.map.block_of(a)) {
+                            let k = seg.min((deadline - *now) / 2 + 1);
+                            env.st.reads += k;
+                            env.st.wb_forwards += k;
+                            env.st.busy += k;
+                            env.st.read_stall += k;
+                            *now += 2 * k;
+                            k
+                        } else {
+                            missed = true;
+                            break;
+                        };
+                        taken += k;
+                        rem -= k;
+                        a += k * stride;
+                    }
+                    stream.consume_iters(taken);
+                    done += taken;
+                    if missed || rem > 0 {
+                        break 'run;
+                    }
+                }
+                Head::WRun {
+                    mut a,
+                    stride,
+                    mut rem,
+                } => {
+                    if !env.policy.wb_pushes {
+                        break 'run;
+                    }
+                    let mut taken = 0u64;
+                    let mut full = false;
+                    while rem > 0 && *now <= deadline {
+                        // Batch at coherence-block granularity: one buffer
+                        // entry covers the span (L1 stamp order inside it
+                        // is unobservable on direct-mapped caches).
+                        let seg = env.blk_iters(a, stride, rem);
+                        // The block's first write goes through the exact
+                        // scalar arm: the full-buffer bail and the kick
+                        // scheduling live there.
+                        if !env.apply(Op::Write(a), now) {
+                            full = true;
+                            break;
+                        }
+                        taken += 1;
+                        rem -= 1;
+                        a += stride;
+                        if *now > deadline {
+                            break;
+                        }
+                        // The rest of the segment coalesces onto the entry
+                        // that push created (or found).
+                        let k = (seg - 1).min(rem).min(deadline - *now + 1);
+                        if k > 0 {
+                            let mut mask = 0u32;
+                            if stride == 0 {
+                                mask = 1 << env.map.word_in_block(a);
+                            } else {
+                                for i in 0..k {
+                                    mask |= 1 << env.map.word_in_block(a + i * stride);
+                                }
+                            }
+                            let idx = env
+                                .node
+                                .wb
+                                .find_block(env.map.block_of(a))
+                                .expect("push left a live entry");
+                            env.commit_coalesced(idx, a, mask, k, now);
+                            taken += k;
+                            rem -= k;
+                            a += k * stride;
+                        }
+                    }
+                    stream.consume_iters(taken);
+                    done += taken;
+                    if full || rem > 0 {
+                        break 'run;
+                    }
+                }
+                Head::Nested(nest) => {
+                    if !(env.policy.compute && env.policy.private_read_hits && env.policy.wb_pushes)
+                    {
+                        // Mixed bodies want the full policy; the general
+                        // path retires them op by op.
+                        break 'run;
+                    }
+                    let n = nest.n();
+                    let wmask = nest.wmask();
+                    let slots = nest.slots();
+                    // Worst-case local time per iteration is the same for
+                    // every iteration of the nest: pay for it once.
+                    let mut cost: Time = 0;
+                    for s in slots {
+                        cost += match *s {
+                            Slot::Compute(c) => (c as Time * env.pace).div_ceil(100),
+                            _ => 1,
+                        };
+                    }
+                    let mut it = iter;
+                    // Verify-fail memo: the slot that broke the last bulk
+                    // attempt. A persistently non-resident slot (e.g. a
+                    // read of a line a peer keeps refreshing away) then
+                    // costs one probe per scalar iteration instead of a
+                    // full verify sweep.
+                    let mut hint = usize::MAX;
+                    while it < n && *now <= deadline {
+                        // A batch spans as many iterations as every slot
+                        // can retire with one commit call: write slots stay
+                        // inside their current coherence block (one buffer
+                        // entry, one L2 tag), and read slots may cross L1
+                        // lines as long as every touched line is resident
+                        // (probed line by line below). Stamp order inside a
+                        // batch is unobservable under the direct-mapped
+                        // gate that enables this path.
+                        let mut seg = n - it;
+                        let mut bulk_ok = true;
+                        // Write slots opening a fresh buffer entry this
+                        // batch (bit per slot index), and the buffer
+                        // index each committing slot coalesces into (one
+                        // scan here, none in the commit pass — indices
+                        // stay valid because nothing pops inside a batch).
+                        let mut push_mask = 0u16;
+                        let mut pushes = 0usize;
+                        let mut widx = [0u8; 16];
+                        if hint != usize::MAX {
+                            let still = match slots[hint] {
+                                Slot::Read { base, stride } => {
+                                    !env.node.l1.contains(base + it * stride)
+                                }
+                                _ => false,
+                            };
+                            if still {
+                                bulk_ok = false;
+                            } else {
+                                hint = usize::MAX;
+                            }
+                        }
+                        let mut push_writeif = false;
+                        if bulk_ok {
+                            // Write-like slots first: they clamp the span
+                            // cheaply, so the read pass never probes lines
+                            // past the batch.
+                            for (si, s) in slots.iter().enumerate() {
+                                let (base, stride, gated) = match *s {
+                                    Slot::Write { base, stride } => (base, stride, false),
+                                    Slot::WriteIf { base, stride } => (base, stride, true),
+                                    _ => continue,
+                                };
+                                let a = base + it * stride;
+                                seg = seg.min(env.blk_iters(a, stride, seg));
+                                match env.node.wb.find_block(env.map.block_of(a)) {
+                                    Some(i) => widx[si] = i as u8,
+                                    None => {
+                                        push_mask |= 1 << si;
+                                        pushes += 1;
+                                        push_writeif |= gated;
+                                    }
+                                }
+                            }
+                        }
+                        // Fresh entries batch only when the buffer has room
+                        // for all of them and a wake-up is already booked
+                        // (a retirement in flight or a kick pending), so
+                        // the bulk path never stalls and never schedules.
+                        // The scalar arm below handles the rare remainder
+                        // (first write after a full drain) exactly. A
+                        // gated (write-if) slot creates its entry at its
+                        // first *set* iteration, not at the batch head, so
+                        // two creations in one batch could land in the
+                        // buffer out of FIFO order — batch only when the
+                        // creation this round is unique.
+                        if bulk_ok && pushes > 0 {
+                            bulk_ok = (env.retiring || *env.kick_pending)
+                                && env.node.wb.room() >= pushes
+                                && !(push_writeif && pushes > 1);
+                        }
+                        if bulk_ok {
+                            for (si, s) in slots.iter().enumerate() {
+                                if let Slot::Read { base, stride } = *s {
+                                    let a = base + it * stride;
+                                    if !env.node.l1.contains(a) {
+                                        bulk_ok = false;
+                                        hint = si;
+                                        break;
+                                    }
+                                    // Extend the verified span line by
+                                    // line up to the current clamp.
+                                    let mut ok = env.seg_iters(a, stride, seg);
+                                    while ok < seg {
+                                        let nxt = a + ok * stride;
+                                        if !env.node.l1.contains(nxt) {
+                                            break;
+                                        }
+                                        ok += env.seg_iters(nxt, stride, seg - ok);
+                                    }
+                                    seg = ok;
+                                }
+                            }
+                        }
+                        // Only iterations that finish at or before the
+                        // deadline batch; the crossing iteration runs
+                        // through the scalar arms so it stops exactly
+                        // where the per-op engine would.
+                        let k = seg.min((deadline - *now) / cost.max(1));
+                        if bulk_ok && k > 0 {
+                            for (si, s) in slots.iter().enumerate() {
+                                match *s {
+                                    Slot::Compute(c) => {
+                                        let scaled = (c as Time * env.pace).div_ceil(100);
+                                        env.st.busy += k * scaled;
+                                        *now += k * scaled;
+                                        done += k;
+                                    }
+                                    Slot::Read { base, stride } => {
+                                        let a = base + it * stride;
+                                        let hit = env.node.l1.read_hit_run(a, k);
+                                        debug_assert!(hit);
+                                        env.st.reads += k;
+                                        env.st.l1_hits += k;
+                                        env.st.busy += k;
+                                        *now += k;
+                                        done += k;
+                                    }
+                                    Slot::Write { base, stride } => {
+                                        let mut a = base + it * stride;
+                                        let mut rem = k;
+                                        let idx;
+                                        if push_mask >> si & 1 == 1 {
+                                            // Entry creation goes through
+                                            // the exact scalar push; the
+                                            // fresh entry lands at the
+                                            // back of the buffer.
+                                            let ok = env.apply(Op::Write(a), now);
+                                            debug_assert!(ok);
+                                            idx = env.node.wb.len() - 1;
+                                            done += 1;
+                                            a += stride;
+                                            rem -= 1;
+                                        } else {
+                                            idx = widx[si] as usize;
+                                        }
+                                        if rem > 0 {
+                                            let mut mask = 0u32;
+                                            if stride == 0 {
+                                                mask = 1 << env.map.word_in_block(a);
+                                            } else {
+                                                for i in 0..rem {
+                                                    mask |= 1u32
+                                                        << env.map.word_in_block(a + i * stride);
+                                                }
+                                            }
+                                            env.commit_coalesced(idx, a, mask, rem, now);
+                                            done += rem;
+                                        }
+                                    }
+                                    Slot::WriteIf { base, stride } => {
+                                        // Masked writes: `n <= 64` is a
+                                        // `write_if` builder invariant, so
+                                        // the window fits one shift.
+                                        let window =
+                                            if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+                                        let bits = (wmask >> it) & window;
+                                        let mut w = u64::from(bits.count_ones());
+                                        if w > 0 {
+                                            let a = base + it * stride;
+                                            let mut mask = 0u32;
+                                            let mut b = bits;
+                                            while b != 0 {
+                                                let i = u64::from(b.trailing_zeros());
+                                                mask |=
+                                                    1u32 << env.map.word_in_block(a + i * stride);
+                                                b &= b - 1;
+                                            }
+                                            let idx;
+                                            if push_mask >> si & 1 == 1 {
+                                                // The entry opens at the
+                                                // first *set* iteration —
+                                                // the exact scalar push
+                                                // keeps the representative
+                                                // address and accounting
+                                                // identical.
+                                                let j0 = u64::from(bits.trailing_zeros());
+                                                let ok = env.apply(Op::Write(a + j0 * stride), now);
+                                                debug_assert!(ok);
+                                                idx = env.node.wb.len() - 1;
+                                                done += 1;
+                                                w -= 1;
+                                            } else {
+                                                idx = widx[si] as usize;
+                                            }
+                                            if w > 0 {
+                                                env.commit_coalesced(idx, a, mask, w, now);
+                                                done += w;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            stream.consume_iters(k);
+                            it += k;
+                            continue;
+                        }
+                        // One iteration through the exact scalar arms. On
+                        // a bail or a deadline crossing, the unretired
+                        // tail of the iteration spills to the scalar
+                        // buffer and the cursor moves past the iteration.
+                        let mut si = 0;
+                        while si < slots.len() {
+                            if let Some(op) = slots[si].op_at(it, wmask) {
+                                if !env.apply(op, now) {
+                                    stream.spill_iter_tail(si);
+                                    *ops_done += done;
+                                    *elided += done;
+                                    return;
+                                }
+                                done += 1;
+                                if *now > deadline {
+                                    stream.spill_iter_tail(si + 1);
+                                    *ops_done += done;
+                                    *elided += done;
+                                    return;
+                                }
+                            }
+                            si += 1;
+                        }
+                        stream.consume_iters(1);
+                        it += 1;
+                    }
+                    if it < n {
+                        break 'run; // deadline hit between iterations
+                    }
+                }
             }
         }
-        proc.stream.consume(taken);
-        *ops_done += taken as u64;
-        *elided += taken as u64;
+        *ops_done += done;
+        *elided += done;
     }
 
     /// The processor execution loop: runs ops until blocking or done.

@@ -123,6 +123,7 @@ impl Protocol for DmonU {
         node: usize,
         entry: &WriteEntry,
         t: Time,
+        sharers: u64,
     ) -> Time {
         self.counters.updates += 1;
         let home = self.map.home_of(entry.addr);
@@ -132,7 +133,7 @@ impl Protocol for DmonU {
         let xfer = self.ch.optics.transfer_bits(bits);
         let sent = self.ch.bcast[node % 2].acquire(granted, xfer) + xfer;
         let seen = sent + self.ch.optics.flight;
-        apply_update_to_peers(nodes, node, entry.addr, &mut self.counters);
+        apply_update_to_peers(nodes, node, entry.addr, &mut self.counters, sharers);
         let (_applied, ack_ready) = nodes[home].mem.apply_update(seen, entry.words());
         // Ack: reservation, then a one-cycle message on the home channel.
         let granted2 = self.ch.reserve(home, ack_ready);
@@ -206,7 +207,7 @@ mod tests {
             shared: true,
         };
         let t = 500;
-        let ack = p.retire_shared_write(&mut nodes, 0, &entry, t);
+        let ack = p.retire_shared_write(&mut nodes, 0, &entry, t, u64::MAX);
         let expect = latency::total(&latency::dmon_u_update(&SysConfig::base(Arch::DmonU)));
         let lat = (ack - t) as i64;
         assert!((lat - expect as i64).abs() <= 17, "lat {lat} vs {expect}");
@@ -236,7 +237,7 @@ mod tests {
         // once per 16-cycle frame — DMON's signature arbitration cost,
         // absent in LambdaNet.
         let mut acks: Vec<Time> = (0..8)
-            .map(|n| p.retire_shared_write(&mut nodes, n, &mk(a + 64 * n as u64), 0))
+            .map(|n| p.retire_shared_write(&mut nodes, n, &mk(a + 64 * n as u64), 0, u64::MAX))
             .collect();
         acks.sort_unstable();
         // All distinct completion times, spread by the TDMA frame.

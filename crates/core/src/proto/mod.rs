@@ -145,12 +145,17 @@ pub trait Protocol {
     /// `t`. Applies all coherence side effects to the other nodes and
     /// returns the time the home's acknowledgement reaches `node` (the
     /// next update may be issued then).
+    /// `sharers` is an exact-negative hint: the set of nodes (bit per
+    /// node) that may hold the entry's block in a private cache — see
+    /// [`crate::sharers::SharerMap`]. Passing `u64::MAX` (every node a
+    /// candidate) is always correct.
     fn retire_shared_write(
         &mut self,
         nodes: &mut [Node],
         node: usize,
         entry: &WriteEntry,
         t: Time,
+        sharers: u64,
     ) -> Time;
 
     /// Broadcasts a synchronization message (lock or barrier transaction)
@@ -185,11 +190,19 @@ pub(crate) fn apply_update_to_peers(
     writer: usize,
     addr: Addr,
     counters: &mut ProtoCounters,
+    sharers: u64,
 ) {
-    for (i, n) in nodes.iter_mut().enumerate() {
-        if i == writer {
-            continue;
+    // Walk only plausible sharers (exact-negative filter: a clear bit
+    // proves the peer holds nothing, so skipping it changes no state and
+    // no counter).
+    let mut m = sharers & !(1u64 << writer);
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if i >= nodes.len() {
+            break;
         }
+        let n = &mut nodes[i];
         if n.l2.write_update(addr, false) {
             counters.remote_l2_refreshes += 1;
         }

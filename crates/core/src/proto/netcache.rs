@@ -168,6 +168,7 @@ impl Protocol for NetCacheProto {
         node: usize,
         entry: &WriteEntry,
         t: Time,
+        sharers: u64,
     ) -> Time {
         self.counters.updates += 1;
         let home = self.map.home_of(entry.addr);
@@ -180,7 +181,7 @@ impl Protocol for NetCacheProto {
         let sent = self.coherence[ch].acquire(slot_owner, ready, xfer) + xfer;
         let seen = sent + self.optics.flight;
         // All sharers refresh L2 copies / invalidate L1 copies.
-        apply_update_to_peers(nodes, node, entry.addr, &mut self.counters);
+        apply_update_to_peers(nodes, node, entry.addr, &mut self.counters, sharers);
         // Home: memory FIFO queue (hysteresis ack) + circulating copy.
         let (_applied, ack_ready) = nodes[home].mem.apply_update(seen, entry.words());
         self.ring.apply_update(self.map.block_of(entry.addr), seen);
@@ -327,7 +328,7 @@ mod tests {
             shared: true,
         };
         let t = 500;
-        let ack = p.retire_shared_write(&mut nodes, 0, &entry, t);
+        let ack = p.retire_shared_write(&mut nodes, 0, &entry, t, u64::MAX);
         let expect = latency::total(&latency::netcache_update(&SysConfig::base(Arch::NetCache)));
         let lat = ack - t;
         // TDMA waits are 0..16 each instead of the 8 average.
@@ -350,7 +351,7 @@ mod tests {
             mask: 1,
             shared: true,
         };
-        p.retire_shared_write(&mut nodes, 0, &entry, 0);
+        p.retire_shared_write(&mut nodes, 0, &entry, 0, u64::MAX);
         assert!(nodes[3].l2.contains(a), "L2 refreshed in place");
         assert!(!nodes[3].l1.contains(a), "L1 invalidated");
         assert_eq!(p.counters().remote_l2_refreshes, 1);
@@ -369,7 +370,7 @@ mod tests {
             mask: 1,
             shared: true,
         };
-        let ack = p.retire_shared_write(&mut nodes, 1, &entry, t);
+        let ack = p.retire_shared_write(&mut nodes, 1, &entry, t, u64::MAX);
         // Read right after the update: must wait out ~2 roundtrips.
         let r2 = p.read_remote(&mut nodes, 2, a, ack);
         assert_eq!(r2.kind, ReadKind::SharedHit);

@@ -182,6 +182,50 @@ impl Cache {
         false
     }
 
+    /// Block-granular read-hit probe: the batched form of `n` consecutive
+    /// [`Cache::read_hit`] calls to the same block. One tag probe; on a
+    /// hit, performs the aggregate state change of the `n` scalar probes
+    /// (clock advanced by `n`, stamp refreshed to the final clock, `n`
+    /// hits) and returns true; on a miss, touches nothing. The engine's
+    /// run-elision path retires a strided read run with one such probe per
+    /// distinct block instead of one probe per element.
+    #[inline]
+    pub fn read_hit_run(&mut self, a: Addr, n: u64) -> bool {
+        if n == 0 {
+            return self.contains(a);
+        }
+        let b = self.block_of(a);
+        for i in self.set_range(b) {
+            if self.lines[i].valid && self.lines[i].tag == b {
+                self.clock += n;
+                self.lines[i].stamp = self.clock;
+                self.hits += n;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Block-granular write-update: the batched form of `n` consecutive
+    /// [`Cache::write_update`] calls to the same block (clock advanced by
+    /// `n`; stamp refreshed to the final clock and dirtiness merged if the
+    /// block is present). Returns presence, like `write_update`.
+    #[inline]
+    pub fn write_update_run(&mut self, a: Addr, n: u64, dirty: bool) -> bool {
+        let b = self.block_of(a);
+        self.clock += n;
+        let clock = self.clock;
+        for i in self.set_range(b) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == b {
+                line.stamp = clock;
+                line.dirty |= dirty;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Non-destructive presence check (no LRU or counter update).
     pub fn contains(&self, a: Addr) -> bool {
         let b = self.block_of(a);
@@ -446,6 +490,33 @@ mod tests {
         assert_eq!(read.read(256), ReadOutcome::Miss);
         probed.read(256);
         assert_eq!(probed.misses(), read.misses());
+    }
+
+    #[test]
+    fn run_probes_match_scalar_loops() {
+        let mut run = dm_cache();
+        let mut scalar = dm_cache();
+        run.fill(0, false);
+        scalar.fill(0, false);
+        assert!(run.read_hit_run(4, 3));
+        for _ in 0..3 {
+            assert!(scalar.read_hit(4));
+        }
+        assert_eq!(run.hits(), scalar.hits());
+        // Miss: pure, like read_hit.
+        assert!(!run.read_hit_run(256, 5));
+        assert_eq!(run.misses(), 0);
+        // write_update_run merges dirtiness like n scalar updates and
+        // leaves the same eviction candidate behind.
+        assert!(run.write_update_run(32, 2, true));
+        for _ in 0..2 {
+            assert!(scalar.write_update(32, true));
+        }
+        let ev_run = run.fill(256, false).unwrap();
+        let ev_scalar = scalar.fill(256, false).unwrap();
+        assert_eq!(ev_run, ev_scalar);
+        assert!(ev_run.dirty);
+        assert!(!run.write_update_run(512, 4, true), "absent: no allocate");
     }
 
     #[test]

@@ -105,6 +105,28 @@ impl CoalescingWriteBuffer {
         PushOutcome::Allocated
     }
 
+    /// Batched coalesce: merges `count` writes covering the words in
+    /// `mask_bits` into the existing entry for `block`. Equivalent to
+    /// `count` scalar [`push`](Self::push) calls that all coalesce —
+    /// same mask growth, same `pushes`/`coalesced` accounting. The
+    /// engine's run-elision path uses this to retire a strided write run
+    /// with one buffer scan per block instead of one per element. The
+    /// caller must have established that the entry exists (e.g. via
+    /// [`holds_block`](Self::holds_block)); returns false (and does
+    /// nothing) if it does not.
+    #[inline]
+    pub fn coalesce_run(&mut self, block: BlockAddr, mask_bits: u32, count: u64) -> bool {
+        for e in self.entries.iter_mut() {
+            if e.block == block {
+                e.mask |= mask_bits;
+                self.pushes += count;
+                self.coalesced += count;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Oldest entry, if any (peek; retirement is [`pop`](Self::pop)).
     pub fn front(&self) -> Option<&WriteEntry> {
         self.entries.front()
@@ -121,6 +143,29 @@ impl CoalescingWriteBuffer {
         self.entries.iter().any(|e| e.block == block)
     }
 
+    /// Index of the entry for `block`, if one is buffered. Indices stay
+    /// valid until the next [`pop`](Self::pop); pushes never move
+    /// existing entries. Batch retirement probes once and then commits
+    /// through [`coalesce_at`](Self::coalesce_at) without rescanning.
+    #[inline]
+    pub fn find_block(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.iter().position(|e| e.block == block)
+    }
+
+    /// [`coalesce_run`](Self::coalesce_run) against the entry at `idx`
+    /// (from [`find_block`](Self::find_block)): no scan, same accounting.
+    ///
+    /// # Panics
+    /// In debug builds, if `idx` does not hold `block`.
+    #[inline]
+    pub fn coalesce_at(&mut self, idx: usize, block: BlockAddr, mask_bits: u32, count: u64) {
+        let e = &mut self.entries[idx];
+        debug_assert_eq!(e.block, block, "stale write-buffer index");
+        e.mask |= mask_bits;
+        self.pushes += count;
+        self.coalesced += count;
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -134,6 +179,11 @@ impl CoalescingWriteBuffer {
     /// True if another distinct-block write would stall.
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.capacity
+    }
+
+    /// Free entry slots remaining.
+    pub fn room(&self) -> usize {
+        self.capacity - self.entries.len()
     }
 
     /// Total writes accepted.
@@ -202,6 +252,29 @@ mod tests {
         assert!(!wb.holds_block(8));
         wb.pop();
         assert!(!wb.holds_block(7));
+    }
+
+    #[test]
+    fn coalesce_run_matches_scalar_pushes() {
+        let mut bulk = CoalescingWriteBuffer::new(4);
+        let mut scalar = CoalescingWriteBuffer::new(4);
+        for wb in [&mut bulk, &mut scalar] {
+            wb.push(3, 192, 0, true);
+        }
+        // Words 1..=4 of block 3, one write each.
+        assert!(bulk.coalesce_run(3, 0b11110, 4));
+        for w in 1..=4u32 {
+            assert_eq!(
+                scalar.push(3, 192 + w as u64 * 4, w, true),
+                PushOutcome::Coalesced
+            );
+        }
+        assert_eq!(bulk.front(), scalar.front());
+        assert_eq!(bulk.pushes(), scalar.pushes());
+        assert_eq!(bulk.coalesced(), scalar.coalesced());
+        // Absent block: no-op.
+        assert!(!bulk.coalesce_run(9, 0b1, 1));
+        assert_eq!(bulk.pushes(), 5);
     }
 
     #[test]

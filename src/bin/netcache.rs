@@ -9,7 +9,7 @@
 //! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
 //! netcache profile <app> [--scale S] [--procs P]       # stream statistics
-//! netcache bench-engine [--json F] [--procs P] [--scale S]  # engine events/sec
+//! netcache bench-engine [--update-baseline|--json F] [--procs P] [--scale S]  # engine events/sec (dry run by default)
 //! netcache bench-compare --baseline F [--tolerance T]  # perf-regression gate
 //! ```
 //!
@@ -44,6 +44,7 @@ struct Args {
     quiet: bool,
     baseline: Option<String>,
     tolerance: f64,
+    update_baseline: bool,
 }
 
 fn usage() -> ! {
@@ -52,7 +53,8 @@ fn usage() -> ! {
          [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
          [--json FILE] [--csv FILE] [--serial] [--quiet]\n\
-         bench-compare flags: --baseline FILE [--tolerance T]"
+         bench-compare flags: --baseline FILE [--tolerance T]\n\
+         bench-engine flags: [--update-baseline] [--json FILE] (neither: dry run)"
     );
     exit(2)
 }
@@ -86,6 +88,7 @@ fn parse_args() -> Args {
         quiet: false,
         baseline: None,
         tolerance: 0.15,
+        update_baseline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,6 +133,7 @@ fn parse_args() -> Args {
             "--serial" => args.serial = true,
             "--quiet" => args.quiet = true,
             "--baseline" => args.baseline = Some(grab("--baseline")),
+            "--update-baseline" => args.update_baseline = true,
             "--tolerance" => {
                 args.tolerance = grab("--tolerance").parse().unwrap_or_else(|_| usage());
             }
@@ -459,10 +463,17 @@ fn main() {
                 agg.events_per_sec(),
                 agg.ops_per_sec(),
             );
-            let path = args
+            // A measurement run is the default and writes nothing: the
+            // committed baseline only moves on an explicit
+            // `--update-baseline` (or to a scratch file via `--json F`).
+            let Some(path) = args
                 .json
                 .clone()
-                .unwrap_or_else(|| "BENCH_engine.json".into());
+                .or_else(|| args.update_baseline.then(|| "BENCH_engine.json".into()))
+            else {
+                println!("dry run (pass --update-baseline or --json FILE to record)");
+                return;
+            };
             // The outgoing file's summary is preserved as the newest entry
             // of the refreshed file's `history`, so the committed bench
             // carries its own trajectory across engine revisions.
