@@ -40,7 +40,7 @@ pub mod sharers;
 pub mod sweep;
 
 pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
-pub use machine::Machine;
+pub use machine::{run_streams, run_workload, EngineScratch, Machine};
 pub use metrics::{NodeStats, RunReport};
 pub use proto::{Node, ProtoCounters, Protocol, ReadKind};
 pub use ring::{RingCache, RingLookup, RingStats};

@@ -171,7 +171,7 @@ impl ElideEnv<'_> {
                 self.node.l2.write_update(addr, false);
                 if !self.retiring && !*self.kick_pending {
                     *self.kick_pending = true;
-                    Machine::schedule_clamped(self.queue, *now, Event::WbKick(self.p));
+                    schedule_clamped(self.queue, *now, Event::WbKick(self.p));
                 }
                 true
             }
@@ -254,13 +254,19 @@ impl EngineScratch {
 }
 
 /// A configured machine ready to run one workload.
-pub struct Machine {
+///
+/// Generic over the protocol type: the default instantiation
+/// (`Machine<Box<dyn Protocol>>`, what [`Machine::new`] and friends
+/// build) picks the protocol at run time; [`run_streams`] instantiates
+/// the machine at each concrete protocol type so the event loop and the
+/// retirement chain monomorphize — no virtual dispatch per event.
+pub struct Machine<P: Protocol = Box<dyn Protocol>> {
     cfg: SysConfig,
     map: AddressMap,
     queue: EventQueue<Event>,
     procs: Vec<Proc>,
     nodes: Vec<Node>,
-    proto: Box<dyn Protocol>,
+    proto: P,
     /// Lock state, indexed directly by lock id (apps use small dense ids).
     locks: Vec<LockState>,
     /// Barrier state, indexed directly by barrier id.
@@ -278,9 +284,17 @@ pub struct Machine {
     elided: u64,
     /// Which nodes ever filled each block (exact-negative update filter).
     sharers: SharerMap,
+    /// Events whose pop the drain chain proved redundant and elided
+    /// (see [`Machine::retire_chain`]); added back into the report's
+    /// `events` so the count stays schedule-equivalent (digests hash it).
+    synthetic_events: u64,
+    /// Coalesce write-buffer drains: retire a contiguous buffer span
+    /// inside one event where provably equivalent. Disabled by
+    /// [`Machine::per_event_drain`] for differential testing.
+    batch_drain: bool,
 }
 
-impl Machine {
+impl Machine<Box<dyn Protocol>> {
     /// Builds a machine and loads the workload's streams.
     ///
     /// # Panics
@@ -339,6 +353,21 @@ impl Machine {
         streams: Vec<OpStream>,
         scratch: &mut EngineScratch,
     ) -> Self {
+        Self::with_proto(cfg, streams, proto::build, scratch)
+    }
+}
+
+impl<P: Protocol> Machine<P> {
+    /// The shared constructor: builds a machine around `build`'s protocol
+    /// value. The protocol type is whatever `build` returns — a concrete
+    /// protocol for the monomorphized entry points, `Box<dyn Protocol>`
+    /// for the run-time-dispatch ones.
+    fn with_proto(
+        cfg: &SysConfig,
+        streams: Vec<OpStream>,
+        build: impl FnOnce(&SysConfig, AddressMap) -> P,
+        scratch: &mut EngineScratch,
+    ) -> Self {
         cfg.validate().expect("invalid configuration");
         let map = AddressMap::new(cfg.nodes, cfg.l2.block_bytes);
         assert!(
@@ -370,7 +399,7 @@ impl Machine {
         for p in 0..n {
             queue.schedule(0, Event::Resume(p));
         }
-        let proto = proto::build(cfg, map);
+        let proto = build(cfg, map);
         let mut elide = proto.elision_policy();
         // Read-hit probes skip the LRU/miss bookkeeping a canonical miss
         // performs; that is unobservable only when replacement never has a
@@ -392,7 +421,18 @@ impl Machine {
             ops_done: 0,
             elided: 0,
             sharers: SharerMap::new(),
+            synthetic_events: 0,
+            batch_drain: true,
         }
+    }
+
+    /// Disables drain-chain batching: every retirement schedules its
+    /// Resume and WbAck as real events, reproducing the pre-batching
+    /// engine exactly. The differential tests pin the batched path
+    /// against this oracle (same digests, same event counts).
+    pub fn per_event_drain(mut self) -> Self {
+        self.batch_drain = false;
+        self
     }
 
     /// Runs to completion and returns the report.
@@ -449,7 +489,10 @@ impl Machine {
             nodes: self.stats,
             proto: *self.proto.counters(),
             ring: self.proto.ring_stats().copied(),
-            events: self.queue.scheduled_total(),
+            // Elided drain-chain events count as if scheduled: the batched
+            // engine must report the exact event total of the per-event
+            // schedule it is equivalent to (digests hash this).
+            events: self.queue.scheduled_total() + self.synthetic_events,
             ops: self.ops_done,
             elided_ops: self.elided,
             channels: self.proto.channel_report(),
@@ -508,25 +551,88 @@ impl Machine {
             return;
         }
         self.procs[p].retiring = true;
-        let entry = self.nodes[p].wb.pop().expect("non-empty");
-        // The freed slot may unblock a stalled writer immediately.
-        if self.procs[p].state == ProcState::BlockedWbFull {
-            self.wake(p, t, Stall::Wb);
+        self.retire_chain(p, t);
+    }
+
+    /// Retires write-buffer entries starting at local time `t`. Invariant
+    /// on entry: `retiring[p]` is set and the buffer is non-empty.
+    ///
+    /// The per-event engine pays two events per retired block: the WbAck
+    /// that completes one retirement and (for a stalled writer) the
+    /// Resume that restarts the processor. With `batch_drain` the chain
+    /// elides both where their pop is provably the next thing the queue
+    /// would do anyway (`has_event_by` says nothing else is due first):
+    ///
+    /// * a stalled writer's Resume at the current clock fuses into an
+    ///   inline `run_proc` — the dominant wf/radix lockstep pattern
+    ///   (write, stall, retire, resume, write, ...) halves to one real
+    ///   event per block;
+    /// * an unobserved intermediate WbAck skips its trip through the
+    ///   queue and the next entry retires in the same event — a solo
+    ///   drain (pre-barrier flush) retires the whole buffer span on one
+    ///   WbKick plus one final real WbAck.
+    ///
+    /// Elided events are counted in `synthetic_events`; the final WbAck
+    /// of every span is always real, so the drain-complete wake
+    /// (`BlockedDrain`) and the `retiring` window end exactly as before.
+    /// DESIGN.md §12 gives the full equivalence argument.
+    fn retire_chain(&mut self, p: usize, mut t: Time) {
+        loop {
+            let entry = self.nodes[p].wb.pop().expect("non-empty");
+            // The freed slot may unblock a stalled writer immediately.
+            let mut fused_wake = false;
+            if self.procs[p].state == ProcState::BlockedWbFull {
+                if self.batch_drain
+                    && t == self.queue.now()
+                    && self.procs[p].block_start <= t
+                    && !self.queue.has_event_by(t)
+                {
+                    // The wake's Resume would land at the current clock
+                    // with nothing due before it: it would pop next, so
+                    // run the processor inline after this retirement
+                    // instead of scheduling it.
+                    self.stats[p].wb_stall += t - self.procs[p].block_start;
+                    self.procs[p].state = ProcState::Running;
+                    fused_wake = true;
+                } else {
+                    self.wake(p, t, Stall::Wb);
+                }
+            }
+            let ack_at = if entry.shared {
+                self.proto.retire_shared_write(
+                    &mut self.nodes,
+                    p,
+                    &entry,
+                    t,
+                    self.sharers.sharers(entry.block),
+                )
+            } else {
+                // Private write: drains into the local memory, no coherence.
+                let (applied, _) = self.nodes[p].mem.apply_update(t + 1, entry.words());
+                applied
+            };
+            if fused_wake {
+                // Schedule the ack *before* running the processor: every
+                // event the resumed processor schedules must carry a
+                // larger sequence number than this ack, exactly as when
+                // the ack entered the queue ahead of the Resume's pop.
+                schedule_clamped(&mut self.queue, ack_at, Event::WbAck(p));
+                self.synthetic_events += 1; // the elided Resume
+                self.run_proc(p);
+                return;
+            }
+            // Chain: if the ack would pop with nothing scheduled before
+            // it (and more entries wait), its only effect is to re-enter
+            // retirement at `eff` — do that here and skip the event.
+            let eff = ack_at.max(self.queue.now());
+            if self.batch_drain && !self.nodes[p].wb.is_empty() && !self.queue.has_event_by(eff) {
+                self.synthetic_events += 1; // the elided WbAck
+                t = eff;
+                continue;
+            }
+            schedule_clamped(&mut self.queue, ack_at, Event::WbAck(p));
+            return;
         }
-        let ack_at = if entry.shared {
-            self.proto.retire_shared_write(
-                &mut self.nodes,
-                p,
-                &entry,
-                t,
-                self.sharers.sharers(entry.block),
-            )
-        } else {
-            // Private write: drains into the local memory, no coherence.
-            let (applied, _) = self.nodes[p].mem.apply_update(t + 1, entry.words());
-            applied
-        };
-        Self::schedule_clamped(&mut self.queue, ack_at, Event::WbAck(p));
     }
 
     /// An update ack arrived: retire the next entry or complete a drain.
@@ -1218,7 +1324,7 @@ impl Machine {
                             self.nodes[p].l2.write_update(addr, false);
                             if !self.procs[p].retiring && !self.kick_pending[p] {
                                 self.kick_pending[p] = true;
-                                Self::schedule_clamped(&mut self.queue, now, Event::WbKick(p));
+                                schedule_clamped(&mut self.queue, now, Event::WbKick(p));
                             }
                         }
                     }
@@ -1337,22 +1443,61 @@ impl Machine {
         }
     }
 
-    /// Schedules `ev` at `at`, clamped to the global clock. Handlers
-    /// compute wake-up times in processor-*local* time, which can trail
-    /// the global clock when the processor blocked while running ahead of
-    /// it; the queue itself must never be handed a timestamp in the past.
-    /// Every `schedule` call in the machine goes through here.
-    #[inline]
-    fn schedule_clamped(queue: &mut EventQueue<Event>, at: Time, ev: Event) {
-        let t = at.max(queue.now());
-        debug_assert!(t >= queue.now(), "event scheduled in the past");
-        queue.schedule(t, ev);
-    }
-
     #[inline]
     fn schedule_resume(&mut self, p: usize, at: Time) {
-        Self::schedule_clamped(&mut self.queue, at, Event::Resume(p));
+        schedule_clamped(&mut self.queue, at, Event::Resume(p));
     }
+}
+
+/// Schedules `ev` at `at`, clamped to the global clock. Handlers
+/// compute wake-up times in processor-*local* time, which can trail
+/// the global clock when the processor blocked while running ahead of
+/// it; the queue itself must never be handed a timestamp in the past.
+/// Every `schedule` call in the machine goes through here. (A free
+/// function, not a method: it carries no protocol type, and call sites
+/// such as [`ElideEnv`] have no `P` in scope to name.)
+#[inline]
+fn schedule_clamped(queue: &mut EventQueue<Event>, at: Time, ev: Event) {
+    let t = at.max(queue.now());
+    debug_assert!(t >= queue.now(), "event scheduled in the past");
+    queue.schedule(t, ev);
+}
+
+/// Runs `streams` on a machine whose protocol type is chosen statically
+/// from `cfg.arch`: the event loop, the retirement chain, and every
+/// protocol call inside them monomorphize per protocol, so the per-event
+/// virtual dispatch of the `Box<dyn Protocol>` path disappears. This is
+/// the engine entry point for all built-in runs (`run_app`, sweeps, the
+/// benchmark grid); [`Machine::with_streams`] and friends remain for
+/// callers plugging in custom protocols.
+pub fn run_streams(
+    cfg: &SysConfig,
+    streams: Vec<OpStream>,
+    scratch: &mut EngineScratch,
+) -> RunReport {
+    use crate::config::Arch;
+    use crate::proto::{DmonI, DmonU, LambdaNet, NetCacheProto};
+    match cfg.arch {
+        Arch::NetCache => {
+            Machine::with_proto(cfg, streams, NetCacheProto::new, scratch).run_reusing(scratch)
+        }
+        Arch::LambdaNet => {
+            Machine::with_proto(cfg, streams, LambdaNet::new, scratch).run_reusing(scratch)
+        }
+        Arch::DmonU => Machine::with_proto(cfg, streams, DmonU::new, scratch).run_reusing(scratch),
+        Arch::DmonI => Machine::with_proto(cfg, streams, DmonI::new, scratch).run_reusing(scratch),
+    }
+}
+
+/// [`run_streams`] for a built-in workload: builds the op streams from
+/// the workload and runs them on the monomorphized engine.
+pub fn run_workload(
+    cfg: &SysConfig,
+    workload: &Workload,
+    scratch: &mut EngineScratch,
+) -> RunReport {
+    let map = AddressMap::new(cfg.nodes, cfg.l2.block_bytes);
+    run_streams(cfg, workload.streams(&map), scratch)
 }
 
 #[cfg(test)]

@@ -182,6 +182,49 @@ pub trait Protocol {
     }
 }
 
+/// Forwarding impl so `Box<dyn Protocol>` is itself a `Protocol`: the
+/// machine is generic over its protocol type (`Machine<P: Protocol>`),
+/// and the boxed form is the default instantiation for callers that pick
+/// the protocol at run time (or plug in their own). The per-arch entry
+/// points in [`crate::machine::run_streams`] instantiate the machine at
+/// each concrete protocol type instead, so the event loop devirtualizes.
+impl Protocol for Box<dyn Protocol> {
+    fn arch(&self) -> Arch {
+        (**self).arch()
+    }
+    fn elision_policy(&self) -> ElisionPolicy {
+        (**self).elision_policy()
+    }
+    fn read_remote(&mut self, nodes: &mut [Node], node: usize, addr: Addr, t: Time) -> ReadResult {
+        (**self).read_remote(nodes, node, addr, t)
+    }
+    fn retire_shared_write(
+        &mut self,
+        nodes: &mut [Node],
+        node: usize,
+        entry: &WriteEntry,
+        t: Time,
+        sharers: u64,
+    ) -> Time {
+        (**self).retire_shared_write(nodes, node, entry, t, sharers)
+    }
+    fn sync_broadcast(&mut self, node: usize, t: Time) -> Time {
+        (**self).sync_broadcast(node, t)
+    }
+    fn evicted_l2(&mut self, nodes: &mut [Node], node: usize, block: u64, dirty: bool, t: Time) {
+        (**self).evicted_l2(nodes, node, block, dirty, t)
+    }
+    fn ring_stats(&self) -> Option<&RingStats> {
+        (**self).ring_stats()
+    }
+    fn counters(&self) -> &ProtoCounters {
+        (**self).counters()
+    }
+    fn channel_report(&self) -> Vec<(String, u64, u64, f64)> {
+        (**self).channel_report()
+    }
+}
+
 /// Applies an update's side effects at every node other than the writer
 /// (update protocols, §4.1): refresh the L2 copy in place, invalidate the
 /// L1 copy.

@@ -360,15 +360,22 @@ impl RingCache {
             self.orphans.retain(|&(_, e)| e > now);
         }
         if self.orphans.len() >= Self::ORPHAN_CAP {
-            let i = self
+            // The incoming window is a shed candidate too: if it expires
+            // before every parked one, dropping a longer-lived entry to
+            // make room for it would shed strictly more accuracy than the
+            // documented soonest-expiring rule allows.
+            let (i, soonest) = self
                 .orphans
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &(_, e))| e)
-                .map(|(i, _)| i)
+                .map(|(i, &(_, e))| (i, e))
                 .expect("cap > 0");
-            self.orphans.swap_remove(i);
             self.stats.orphans_dropped += 1;
+            if exp <= soonest {
+                return;
+            }
+            self.orphans.swap_remove(i);
         }
         self.orphans.push((line, exp));
     }
@@ -654,6 +661,49 @@ mod tests {
             r.stats().orphans_dropped > 0,
             "cap never engaged: {} orphans",
             r.orphans.len()
+        );
+    }
+
+    #[test]
+    fn orphan_overflow_drop_order_is_soonest_expiring() {
+        // Adversarial overflow: drive push_orphan directly so the expiry
+        // ordering is exact, and verify the documented rule — the
+        // *soonest-expiring* window is shed, whether it is a parked entry
+        // or the incoming one.
+        let mut r = small_ring(Replacement::Random, ChannelAssoc::Fully);
+        // Fill to the cap with live windows expiring at 1000, 1001, ...
+        for i in 0..RingCache::ORPHAN_CAP as u64 {
+            r.push_orphan(i * 16, 1000 + i, 0);
+        }
+        assert_eq!(r.orphans.len(), RingCache::ORPHAN_CAP);
+        assert_eq!(r.stats().orphans_dropped, 0);
+
+        // Case 1: the incoming window expires before every parked one.
+        // It must be the one shed — parking it (and dropping the parked
+        // minimum, expiry 1000) violates the soonest-expiring rule.
+        let incoming = 9999 * 16;
+        r.push_orphan(incoming, 50, 0);
+        assert_eq!(r.stats().orphans_dropped, 1);
+        assert_eq!(r.orphans.len(), RingCache::ORPHAN_CAP);
+        assert!(
+            !r.orphans.iter().any(|&(b, _)| b == incoming),
+            "incoming soonest-expiring window must be the shed one"
+        );
+        assert!(
+            r.orphans.iter().any(|&(b, e)| b == 0 && e == 1000),
+            "parked later-expiring window must survive"
+        );
+
+        // Case 2: the incoming window expires after every parked one; the
+        // parked minimum (expiry 1000) is shed and the incoming parks.
+        let late = 8888 * 16;
+        r.push_orphan(late, 5000, 0);
+        assert_eq!(r.stats().orphans_dropped, 2);
+        assert_eq!(r.orphans.len(), RingCache::ORPHAN_CAP);
+        assert!(r.orphans.iter().any(|&(b, _)| b == late));
+        assert!(
+            !r.orphans.iter().any(|&(_, e)| e == 1000),
+            "parked soonest-expiring window must be the shed one"
         );
     }
 

@@ -1,7 +1,7 @@
 //! One-call experiment helpers used by the examples, tests and benches.
 
 use crate::config::SysConfig;
-use crate::machine::Machine;
+use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
 use crate::sweep::{par_map, Sweep, SweepPoint};
 use netcache_apps::{AppId, Workload};
@@ -14,9 +14,10 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs one workload on one machine configuration.
+/// Runs one workload on one machine configuration (statically-dispatched
+/// engine; see [`crate::machine::run_streams`]).
 pub fn run_app(cfg: &SysConfig, workload: &Workload) -> RunReport {
-    Machine::new(cfg, workload).run()
+    run_workload(cfg, workload, &mut EngineScratch::new())
 }
 
 /// Runs the same app at the same scale on 1 node and on `procs` nodes and

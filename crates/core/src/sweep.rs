@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use netcache_apps::{AppId, Workload};
 
 use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
-use crate::machine::{EngineScratch, Machine};
+use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
 
 /// One fully resolved cell of a sweep grid.
@@ -75,10 +75,10 @@ impl SweepPoint {
         }
     }
 
-    /// Runs this one cell (workload sized to the configured node count).
+    /// Runs this one cell (workload sized to the configured node count)
+    /// on the statically-dispatched engine.
     pub fn run(&self) -> RunReport {
-        let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
-        Machine::new(&self.cfg, &wl).run()
+        self.run_with(&mut EngineScratch::new())
     }
 
     /// [`SweepPoint::run`] reusing engine allocations across cells: the
@@ -88,7 +88,7 @@ impl SweepPoint {
     /// [`run`]: SweepPoint::run
     pub fn run_with(&self, scratch: &mut EngineScratch) -> RunReport {
         let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
-        Machine::new_with_scratch(&self.cfg, &wl, scratch).run_reusing(scratch)
+        run_workload(&self.cfg, &wl, scratch)
     }
 }
 
@@ -451,7 +451,9 @@ impl SweepResult {
     }
 
     /// JSON emission (hand-rolled — the workspace is dependency-free):
-    /// the `BENCH_*.json` trajectory shape, one object per cell.
+    /// the `BENCH_*.json` trajectory shape, one object per cell. String
+    /// fields are escaped, so any label survives a round trip through a
+    /// conforming parser.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
@@ -466,9 +468,9 @@ impl SweepResult {
                  \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
                  \"ops_per_sec\": {:.0}, \"elided_ops\": {}, \
                  \"orphans_dropped\": {}}}{comma}\n",
-                r.label,
-                r.arch,
-                r.app.name(),
+                json_escape(&r.label),
+                json_escape(r.arch),
+                json_escape(r.app.name()),
                 r.nodes,
                 r.scale,
                 rep.cycles,
@@ -494,6 +496,25 @@ impl SweepResult {
         ));
         out
     }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal: backslash,
+/// double quote, and control characters (RFC 8259 §7). Everything else
+/// passes through (the emitter writes UTF-8).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Observer hooks on the worker pool. Implementations must be `Sync`:
@@ -795,6 +816,211 @@ mod tests {
             }
         }
         assert!(total_seen <= 4);
+    }
+
+    /// A minimal strict JSON parser (test-only; the workspace stays
+    /// dependency-free). Enough of RFC 8259 to round-trip the emitter's
+    /// output: objects, arrays, strings with escapes, numbers.
+    mod json {
+        #[derive(Debug, PartialEq)]
+        pub enum Value {
+            Num(f64),
+            Str(String),
+            Arr(Vec<Value>),
+            Obj(Vec<(String, Value)>),
+        }
+
+        impl Value {
+            pub fn get(&self, key: &str) -> Option<&Value> {
+                match self {
+                    Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                    _ => None,
+                }
+            }
+            pub fn as_str(&self) -> Option<&str> {
+                match self {
+                    Value::Str(s) => Some(s),
+                    _ => None,
+                }
+            }
+        }
+
+        pub fn parse(s: &str) -> Result<Value, String> {
+            let b = s.as_bytes();
+            let mut i = 0;
+            let v = value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing garbage at byte {i}"));
+            }
+            Ok(v)
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+            if *i < b.len() && b[*i] == c {
+                *i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, *i))
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    let mut fields = Vec::new();
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        let Value::Str(k) = string(b, i)? else {
+                            unreachable!()
+                        };
+                        skip_ws(b, i);
+                        expect(b, i, b':')?;
+                        fields.push((k, value(b, i)?));
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(Value::Obj(fields));
+                            }
+                            _ => return Err(format!("bad object at byte {}", *i)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    let mut items = Vec::new();
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(value(b, i)?);
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(Value::Arr(items));
+                            }
+                            _ => return Err(format!("bad array at byte {}", *i)),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(_) => {
+                    let start = *i;
+                    while *i < b.len()
+                        && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        *i += 1;
+                    }
+                    std::str::from_utf8(&b[start..*i])
+                        .ok()
+                        .and_then(|t| t.parse().ok())
+                        .map(Value::Num)
+                        .ok_or_else(|| format!("bad number at byte {start}"))
+                }
+                None => Err("unexpected end".into()),
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<Value, String> {
+            expect(b, i, b'"')?;
+            let mut out = String::new();
+            loop {
+                match b.get(*i) {
+                    Some(b'"') => {
+                        *i += 1;
+                        return Ok(Value::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*i + 1..*i + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| format!("bad \\u at byte {}", *i))?;
+                                out.push(
+                                    char::from_u32(hex)
+                                        .ok_or_else(|| format!("bad code point {hex:#x}"))?,
+                                );
+                                *i += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", *i)),
+                        }
+                        *i += 1;
+                    }
+                    Some(&c) if c < 0x20 => return Err(format!("raw control char at byte {}", *i)),
+                    Some(_) => {
+                        let start = *i;
+                        while *i < b.len() && b[*i] != b'"' && b[*i] != b'\\' && b[*i] >= 0x20 {
+                            *i += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&b[start..*i])
+                                .map_err(|_| "bad utf-8".to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_emission_round_trips_through_a_strict_parser() {
+        let sweep = SweepSpec::new()
+            .apps([AppId::Fft])
+            .nodes([2])
+            .scale(0.01)
+            .build();
+        let mut res = sweep.run_serial();
+        // Adversarial label: quote, backslash, newline, and a raw control
+        // character. Pre-escaping, any of these makes the document
+        // unparseable (or silently truncates the string).
+        let nasty = "we\"ird\\lab\nel\tx\u{1}/end";
+        res.runs[0].label = nasty.to_string();
+        let doc = res.to_json();
+        let parsed = json::parse(&doc).expect("emitted JSON must parse");
+        let runs = parsed.get("runs").expect("runs key");
+        let json::Value::Arr(cells) = runs else {
+            panic!("runs must be an array")
+        };
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            cells[0].get("label").and_then(|v| v.as_str()),
+            Some(nasty),
+            "label must survive the round trip byte-for-byte"
+        );
+        assert_eq!(cells[0].get("app").and_then(|v| v.as_str()), Some("fft"));
+        assert!(matches!(
+            cells[0].get("events"),
+            Some(json::Value::Num(n)) if *n > 0.0
+        ));
     }
 
     #[test]

@@ -238,6 +238,39 @@ fn json_num(s: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Validates the baseline `events_per_sec` before it becomes the gate's
+/// denominator. A zero (or negative, or non-finite) recorded value would
+/// make `cur < base * (1 - tolerance)` unsatisfiable, silently passing
+/// every regression — so anything that can't anchor the gate is a hard
+/// error, same as a missing key.
+fn checked_baseline_eps(raw: Option<f64>) -> Result<f64, String> {
+    match raw {
+        None => Err("no events_per_sec in baseline".into()),
+        Some(v) if !v.is_finite() => Err(format!("baseline events_per_sec is not finite ({v})")),
+        Some(v) if v <= 0.0 => Err(format!(
+            "baseline events_per_sec is {v}; a zero or negative baseline cannot gate \
+             anything — re-record with bench-engine --update-baseline"
+        )),
+        Some(v) => Ok(v),
+    }
+}
+
+/// Looks up one cell's `events` count in a bench JSON by its label. Cell
+/// labels are unique and only appear in the `cells` array, so the first
+/// match is the right one.
+fn baseline_cell_events(s: &str, label: &str) -> Option<u64> {
+    let pat = format!("\"label\": \"{label}\"");
+    let cell = &s[s.find(&pat)? + pat.len()..];
+    let key = "\"events\":";
+    let rest = cell[cell.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !c.is_ascii_digit())
+        .map(|(j, _)| j)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Collects the history entries a refreshed bench file should carry: the
 /// previous file's own `history` entries plus its top-level summary as the
 /// newest entry. Entries are one-line JSON objects, re-emitted verbatim.
@@ -540,10 +573,11 @@ fn main() {
                 eprintln!("cannot read baseline {baseline_path}: {e}");
                 exit(2)
             });
-            let base_eps = json_num(&baseline, "events_per_sec").unwrap_or_else(|| {
-                eprintln!("baseline {baseline_path} has no events_per_sec");
-                exit(2)
-            });
+            let base_eps = checked_baseline_eps(json_num(&baseline, "events_per_sec"))
+                .unwrap_or_else(|e| {
+                    eprintln!("bench-compare: {e} ({baseline_path})");
+                    exit(2)
+                });
             let result = engine_grid(&args);
             let agg = EngineAgg::of(&result);
             let cur_eps = agg.events_per_sec();
@@ -572,6 +606,22 @@ fn main() {
                          events/sec comparison is approximate",
                         base_events as u64, agg.events
                     );
+                }
+            }
+            // Per-app event counts against the baseline cells: a cell whose
+            // count moved is flagged so a model revision (as opposed to a
+            // pure engine-speed change) is visible at a glance.
+            println!(
+                "\n{:<32} {:>14} {:>14}",
+                "cell", "base events", "cur events"
+            );
+            for r in &result.runs {
+                match baseline_cell_events(&baseline, &r.label) {
+                    Some(be) if be != r.report.events => {
+                        println!("{:<32} {:>14} {:>14}  *", r.label, be, r.report.events)
+                    }
+                    Some(be) => println!("{:<32} {:>14} {:>14}", r.label, be, r.report.events),
+                    None => println!("{:<32} {:>14} {:>14}", r.label, "-", r.report.events),
                 }
             }
             if cur_eps < base_eps * (1.0 - args.tolerance) {
@@ -610,5 +660,43 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the silent-pass gate: a baseline recording
+    /// `events_per_sec: 0` (or anything else that can't anchor the
+    /// `cur < base * (1 - tol)` comparison) must be a hard error, never a
+    /// valid denominator.
+    #[test]
+    fn unusable_baseline_eps_is_a_hard_error() {
+        assert!(checked_baseline_eps(None).is_err());
+        assert!(checked_baseline_eps(Some(0.0)).is_err());
+        assert!(checked_baseline_eps(Some(-0.0)).is_err());
+        assert!(checked_baseline_eps(Some(-123.0)).is_err());
+        assert!(checked_baseline_eps(Some(f64::NAN)).is_err());
+        assert!(checked_baseline_eps(Some(f64::INFINITY)).is_err());
+        assert_eq!(checked_baseline_eps(Some(4785425.0)), Ok(4785425.0));
+    }
+
+    #[test]
+    fn baseline_cell_events_finds_each_label() {
+        let j = "{\n  \"cells\": [\n    \
+                 {\"label\": \"netcache/fft/16\", \"events\": 24548, \"ops\": 7}, \n    \
+                 {\"label\": \"netcache/wf/16\", \"events\": 569335, \"ops\": 9}\n  ],\n  \
+                 \"events_per_sec\": 123\n}";
+        assert_eq!(baseline_cell_events(j, "netcache/fft/16"), Some(24548));
+        assert_eq!(baseline_cell_events(j, "netcache/wf/16"), Some(569335));
+        assert_eq!(baseline_cell_events(j, "netcache/lu/16"), None);
+    }
+
+    #[test]
+    fn json_num_takes_the_last_occurrence() {
+        let j = "{\"history\": [{\"events_per_sec\": 11}], \"events_per_sec\": 42.5}";
+        assert_eq!(json_num(j, "events_per_sec"), Some(42.5));
+        assert_eq!(json_num(j, "missing"), None);
     }
 }
