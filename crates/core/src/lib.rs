@@ -33,6 +33,7 @@ pub mod config;
 pub mod latency;
 pub mod machine;
 pub mod metrics;
+pub mod pdes;
 pub mod proto;
 pub mod ring;
 pub mod runner;
@@ -42,6 +43,7 @@ pub mod sweep;
 pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
 pub use machine::{run_streams, run_workload, EngineScratch, Machine};
 pub use metrics::{NodeStats, RunReport};
+pub use pdes::{fabric_lookahead, run_streams_pdes, run_workload_pdes};
 pub use proto::{Node, ProtoCounters, Protocol, ReadKind};
 pub use ring::{RingCache, RingLookup, RingStats};
 pub use runner::{compare, run_app, speedup};

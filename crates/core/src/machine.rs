@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use crate::sharers::SharerMap;
-use desim::{EventQueue, Time};
+use desim::{EventQueue, Owned, PartitionedQueue, PdesStats, Sched, Time};
 use memsys::{Addr, AddressMap, PushOutcome, ReadOutcome};
 use netcache_apps::{MacroOp, Nest, Op, OpStream, Slot, Workload};
 
@@ -78,8 +78,11 @@ enum Stall {
     Sync,
 }
 
+/// The engine's event vocabulary. Public only because it names the
+/// event type in [`Machine`]'s queue parameter (`Q: Sched<Event>`);
+/// events are scheduled and consumed exclusively by the engine itself.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub enum Event {
     /// Continue executing a processor.
     Resume(usize),
     /// A write-buffer retirement was acknowledged.
@@ -89,13 +92,24 @@ enum Event {
     WbKick(usize),
 }
 
+/// Every event belongs to one processor, so the partitioned queue can
+/// shard the future-event list by processor block.
+impl Owned for Event {
+    #[inline]
+    fn owner(&self) -> usize {
+        match *self {
+            Event::Resume(p) | Event::WbAck(p) | Event::WbKick(p) => p,
+        }
+    }
+}
+
 /// The per-processor elision context: disjoint borrows of everything the
 /// elided fast path mutates, split out of [`Machine`] so the op stream
 /// can be walked while ops are applied.
-struct ElideEnv<'a> {
+struct ElideEnv<'a, Q> {
     node: &'a mut Node,
     st: &'a mut NodeStats,
-    queue: &'a mut EventQueue<Event>,
+    queue: &'a mut Q,
     kick_pending: &'a mut bool,
     map: &'a AddressMap,
     l2_lat: Time,
@@ -109,7 +123,7 @@ struct ElideEnv<'a> {
     seg_bytes: u64,
 }
 
-impl ElideEnv<'_> {
+impl<Q: Sched<Event>> ElideEnv<'_, Q> {
     /// Applies one scalar op exactly as the general path would, for the
     /// elision-safe classes. Returns `false` — with *nothing* mutated —
     /// when the op must go to the general path instead: a sync op, a
@@ -244,12 +258,21 @@ impl ElideEnv<'_> {
 pub struct EngineScratch {
     /// A reset queue from a completed run, warm capacity intact.
     queue: Option<EventQueue<Event>>,
+    /// A reset partitioned queue from a completed PDES run; lane
+    /// allocations are reused when the partition count matches.
+    pqueue: Option<PartitionedQueue<Event>>,
 }
 
 impl EngineScratch {
     /// An empty scratch: the first run allocates, later runs reuse.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Merge-layer statistics of the last completed PDES run through
+    /// this scratch (`None` until a partitioned run has finished).
+    pub fn pdes_stats(&self) -> Option<PdesStats> {
+        self.pqueue.as_ref().map(|q| q.last_run_stats())
     }
 }
 
@@ -260,10 +283,10 @@ impl EngineScratch {
 /// build) picks the protocol at run time; [`run_streams`] instantiates
 /// the machine at each concrete protocol type so the event loop and the
 /// retirement chain monomorphize — no virtual dispatch per event.
-pub struct Machine<P: Protocol = Box<dyn Protocol>> {
+pub struct Machine<P: Protocol = Box<dyn Protocol>, Q: Sched<Event> = EventQueue<Event>> {
     cfg: SysConfig,
     map: AddressMap,
-    queue: EventQueue<Event>,
+    queue: Q,
     procs: Vec<Proc>,
     nodes: Vec<Node>,
     proto: P,
@@ -358,15 +381,79 @@ impl Machine<Box<dyn Protocol>> {
 }
 
 impl<P: Protocol> Machine<P> {
-    /// The shared constructor: builds a machine around `build`'s protocol
-    /// value. The protocol type is whatever `build` returns — a concrete
-    /// protocol for the monomorphized entry points, `Box<dyn Protocol>`
-    /// for the run-time-dispatch ones.
+    /// The serial constructor: [`Machine::with_queue`] around an
+    /// [`EventQueue`], reusing one parked in `scratch` when available.
     fn with_proto(
         cfg: &SysConfig,
         streams: Vec<OpStream>,
         build: impl FnOnce(&SysConfig, AddressMap) -> P,
         scratch: &mut EngineScratch,
+    ) -> Self {
+        // Far-future events are rare (one run-ahead wakeup per processor
+        // slice), so a small per-processor overflow reservation suffices.
+        let queue = scratch
+            .queue
+            .take()
+            .unwrap_or_else(|| EventQueue::with_capacity(4 * streams.len()));
+        Self::with_queue(cfg, streams, build, queue)
+    }
+
+    /// Runs to completion, parking the reusable allocations in `scratch`
+    /// for the caller's next [`Machine::with_scratch`].
+    pub fn run_reusing(self, scratch: &mut EngineScratch) -> RunReport {
+        let (report, queue) = self.run_inner();
+        scratch.queue = Some(queue);
+        report
+    }
+}
+
+impl<P: Protocol> Machine<P, PartitionedQueue<Event>> {
+    /// The partitioned (PDES) constructor: one event-wheel lane per
+    /// partition, processors mapped to lanes in contiguous blocks, the
+    /// fabric's `lookahead` recorded for cross-partition slack tracking.
+    /// Reuses a parked partitioned queue from `scratch` when available.
+    pub(crate) fn with_pdes(
+        cfg: &SysConfig,
+        streams: Vec<OpStream>,
+        build: impl FnOnce(&SysConfig, AddressMap) -> P,
+        parts: usize,
+        lookahead: Time,
+        scratch: &mut EngineScratch,
+    ) -> Self {
+        let n = streams.len();
+        let queue = match scratch.pqueue.take() {
+            Some(mut q) => {
+                q.reconfigure(parts, n, lookahead);
+                q
+            }
+            None => PartitionedQueue::new(parts, n, lookahead),
+        };
+        Self::with_queue(cfg, streams, build, queue)
+    }
+
+    /// Runs to completion, parking the partitioned queue in `scratch`
+    /// for the caller's next [`Machine::with_pdes`].
+    pub(crate) fn run_reusing_pdes(self, scratch: &mut EngineScratch) -> RunReport {
+        let (report, queue) = self.run_inner();
+        scratch.pqueue = Some(queue);
+        report
+    }
+}
+
+impl<P: Protocol, Q: Sched<Event>> Machine<P, Q> {
+    /// The shared constructor: builds a machine around `build`'s protocol
+    /// value and the caller's event queue. The protocol type is whatever
+    /// `build` returns — a concrete protocol for the monomorphized entry
+    /// points, `Box<dyn Protocol>` for the run-time-dispatch ones. The
+    /// queue type is the second axis: the serial [`EventQueue`] or the
+    /// partitioned [`PartitionedQueue`], which deliver the identical
+    /// global `(time, seq)` event order (see `desim::pqueue`), so every
+    /// handler below is oblivious to the choice.
+    fn with_queue(
+        cfg: &SysConfig,
+        streams: Vec<OpStream>,
+        build: impl FnOnce(&SysConfig, AddressMap) -> P,
+        mut queue: Q,
     ) -> Self {
         cfg.validate().expect("invalid configuration");
         let map = AddressMap::new(cfg.nodes, cfg.l2.block_bytes);
@@ -390,12 +477,6 @@ impl<P: Protocol> Machine<P> {
                 }
             })
             .collect();
-        // Far-future events are rare (one run-ahead wakeup per processor
-        // slice), so a small per-processor overflow reservation suffices.
-        let mut queue = scratch
-            .queue
-            .take()
-            .unwrap_or_else(|| EventQueue::with_capacity(4 * n));
         for p in 0..n {
             queue.schedule(0, Event::Resume(p));
         }
@@ -445,15 +526,7 @@ impl<P: Protocol> Machine<P> {
         self.run_inner().0
     }
 
-    /// Runs to completion, parking the reusable allocations in `scratch`
-    /// for the caller's next [`Machine::with_scratch`].
-    pub fn run_reusing(self, scratch: &mut EngineScratch) -> RunReport {
-        let (report, queue) = self.run_inner();
-        scratch.queue = Some(queue);
-        report
-    }
-
-    fn run_inner(mut self) -> (RunReport, EventQueue<Event>) {
+    fn run_inner(mut self) -> (RunReport, Q) {
         let t0 = Instant::now();
         while let Some((_, ev)) = self.queue.pop() {
             match ev {
@@ -1457,7 +1530,7 @@ impl<P: Protocol> Machine<P> {
 /// function, not a method: it carries no protocol type, and call sites
 /// such as [`ElideEnv`] have no `P` in scope to name.)
 #[inline]
-fn schedule_clamped(queue: &mut EventQueue<Event>, at: Time, ev: Event) {
+fn schedule_clamped<Q: Sched<Event>>(queue: &mut Q, at: Time, ev: Event) {
     let t = at.max(queue.now());
     debug_assert!(t >= queue.now(), "event scheduled in the past");
     queue.schedule(t, ev);

@@ -36,6 +36,7 @@ use netcache_apps::{AppId, Workload};
 use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
 use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
+use crate::pdes::run_workload_pdes;
 
 /// One fully resolved cell of a sweep grid.
 #[derive(Debug, Clone)]
@@ -48,6 +49,11 @@ pub struct SweepPoint {
     pub app: AppId,
     /// Input scale for the workload.
     pub scale: f64,
+    /// Partition count for the conservative-PDES engine; `0` or `1`
+    /// runs the serial engine. Reports are bit-identical either way
+    /// (the PDES queue replays the exact global event order), so this
+    /// is purely an engine-speed choice and not part of the label.
+    pub pdes: usize,
 }
 
 impl SweepPoint {
@@ -72,7 +78,15 @@ impl SweepPoint {
             cfg,
             app,
             scale,
+            pdes: 0,
         }
+    }
+
+    /// Selects the partitioned engine with `parts` partitions for this
+    /// cell (0 = serial; 1 = partitioned engine with a single lane).
+    pub fn with_pdes(mut self, parts: usize) -> Self {
+        self.pdes = parts;
+        self
     }
 
     /// Runs this one cell (workload sized to the configured node count)
@@ -88,7 +102,11 @@ impl SweepPoint {
     /// [`run`]: SweepPoint::run
     pub fn run_with(&self, scratch: &mut EngineScratch) -> RunReport {
         let wl = Workload::new(self.app, self.cfg.nodes).scale(self.scale);
-        run_workload(&self.cfg, &wl, scratch)
+        if self.pdes >= 1 {
+            run_workload_pdes(&self.cfg, &wl, self.pdes, scratch)
+        } else {
+            run_workload(&self.cfg, &wl, scratch)
+        }
     }
 }
 
@@ -129,6 +147,9 @@ pub struct SweepSpec {
     mem_latency: Option<u64>,
     /// Per-app scale policy; overrides the `scales` axis when set.
     scale_for: Option<fn(AppId) -> f64>,
+    /// Partition count for the PDES engine (0/1 = serial), applied to
+    /// every cell.
+    pdes: usize,
 }
 
 impl Default for SweepSpec {
@@ -152,7 +173,16 @@ impl SweepSpec {
             assoc: None,
             mem_latency: None,
             scale_for: None,
+            pdes: 0,
         }
+    }
+
+    /// Runs every cell on the partitioned (conservative-PDES) engine
+    /// with `parts` partitions; 0 or 1 keeps the serial engine. Reports
+    /// are bit-identical either way.
+    pub fn pdes(mut self, parts: usize) -> Self {
+        self.pdes = parts;
+        self
     }
 
     /// Architecture axis.
@@ -278,7 +308,7 @@ impl SweepSpec {
                                     Some(f) => f(app),
                                     None => scale,
                                 };
-                                points.push(SweepPoint::new(cfg, app, scale));
+                                points.push(SweepPoint::new(cfg, app, scale).with_pdes(self.pdes));
                             }
                         }
                     }
@@ -670,6 +700,80 @@ mod tests {
         });
         for (i, (v, _)) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_with_propagates_worker_panic() {
+        // A panic in any worker must surface to the caller when the
+        // scope joins — never a silent missing slot. The PDES sweep path
+        // leans on this: a diverging cell must abort the whole sweep.
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(
+                (0..16u64).collect::<Vec<_>>(),
+                4,
+                || 0u64,
+                |state, _, x| {
+                    *state += x;
+                    assert!(x != 11, "poison item");
+                    x
+                },
+            )
+        });
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn par_map_with_preserves_order_under_adversarial_completion() {
+        // Force strict *reverse* completion order: item i may only finish
+        // once all items after it have finished. With one worker per item
+        // every thread parks in `f`, so the output vector is assembled
+        // from completions that arrive exactly backwards — the returned
+        // order must still be input order.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 6usize;
+        let done = AtomicUsize::new(0);
+        let out = par_map_with(
+            (0..n).collect::<Vec<_>>(),
+            n,
+            || (),
+            |(), i, x| {
+                while done.load(Ordering::SeqCst) != n - 1 - i {
+                    std::thread::yield_now();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                x * 10
+            },
+        );
+        assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_with_builds_one_state_per_worker() {
+        // `init` runs once per worker thread (not per item), and state
+        // never crosses workers — the discipline EngineScratch relies on.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let jobs = 3usize;
+        let out = par_map_with(
+            (0..64u64).collect::<Vec<_>>(),
+            jobs,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u64
+            },
+            |seen, _, x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert!(inits.load(Ordering::SeqCst) <= jobs);
+        // Every item processed exactly once, in order, and the per-worker
+        // counters sum to the item count (each item bumped one state).
+        assert_eq!(out.len(), 64);
+        for (i, (x, seen)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+            assert!(*seen >= 1);
         }
     }
 

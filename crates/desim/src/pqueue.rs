@@ -1,0 +1,709 @@
+//! The partitioned event queue — the conservative-PDES substrate.
+//!
+//! [`PartitionedQueue`] shards the future-event list across `P` partition
+//! *lanes*, one per group of event owners (the engine maps a processor to
+//! a lane). Each lane is a private timing wheel plus overflow heap — the
+//! same two-level structure as the serial [`EventQueue`] — and the queue
+//! merges lanes lazily at pop time.
+//!
+//! # Exact global order
+//!
+//! Every `schedule` draws from one **shared** sequence counter, and every
+//! entry carries its `(time, seq)` key explicitly (the serial wheel can
+//! drop the seq because a slot's append order is sequence order; here a
+//! pop must compare keys *across* lanes, so the key travels with the
+//! event). `pop` always delivers the globally smallest `(time, seq)`
+//! pending key — bit-for-bit the order a single [`EventQueue`] would
+//! produce for the same schedule calls. That identity is what makes the
+//! partitioned engine a drop-in replacement whose runs are digest-equal
+//! to the serial oracle (`tests/pdes_diff.rs`).
+//!
+//! # Lazy merge: best lane + fence
+//!
+//! A naive merge scans all `P` lanes per pop. Instead the queue caches
+//!
+//! * `best` — the lane holding the current global minimum key, and
+//! * `fence` — a lower bound on the earliest timestamp in *every other*
+//!   lane (maintained from schedule calls; pops only ever remove events
+//!   from `best`, so the bound stays valid between rescans).
+//!
+//! While the best lane's key is strictly below the fence, pops are
+//! lane-local: O(1) merge work, touching only that lane's wheel. Only
+//! when the cached key reaches the fence (a cross-lane timestamp tie or
+//! the best lane running dry) does the queue rescan all lanes — and the
+//! rescan reads `P` memoized per-lane keys, not `P` wheels. The fence is
+//! conservative (it may be lower than any real event), which costs a
+//! rescan but never reorders a delivery.
+//!
+//! This is the classic conservative-PDES structure specialized to a
+//! single host thread: the lanes are the partitions' local future-event
+//! lists, the fence plays the role of the LBTS bound, and a lane-local
+//! run is exactly the span a distributed conservative simulator would
+//! execute between synchronizations. The queue also records the slack of
+//! every cross-lane schedule (`stats.min_cross_slack`) — the empirical
+//! lookahead the fabric provides, reported in EXPERIMENTS.md.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::queue::{Entry, Sched};
+use crate::time::Time;
+
+/// Per-lane wheel span in cycles. Smaller than the serial queue's 8192:
+/// each lane sees only its partition's events, and far events fall back
+/// to the per-lane overflow heap, which affects constants, never order.
+const SPAN: usize = 4096;
+const MASK: u64 = SPAN as u64 - 1;
+const WORDS: usize = SPAN / 64;
+
+/// An event that knows which partitionable entity it belongs to. The
+/// engine's events all carry a processor index; the queue maps owners to
+/// lanes through its owner table.
+pub trait Owned {
+    /// The owning entity (e.g. processor index); must be `< owners` as
+    /// configured on the queue.
+    fn owner(&self) -> usize;
+}
+
+/// Merge-layer instrumentation: how often the lazy merge stayed
+/// lane-local, and how much physical lookahead cross-lane messages had.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PdesStats {
+    /// Pops served from the cached best lane without a rescan.
+    pub local_pops: u64,
+    /// Pops that had to rescan all lanes to re-establish the best/fence.
+    pub merge_scans: u64,
+    /// Schedules whose target lane differed from the lane of the event
+    /// being executed (cross-partition messages).
+    pub cross_msgs: u64,
+    /// Minimum `at - now` over all cross-lane schedules: the measured
+    /// lookahead floor. `Time::MAX` if no cross message was seen.
+    pub min_cross_slack: Time,
+}
+
+impl PdesStats {
+    fn new() -> Self {
+        Self {
+            min_cross_slack: Time::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// One partition's private future-event list: a cycle-granular wheel of
+/// `SPAN` slots plus an overflow heap, both keyed by the *global*
+/// sequence counter. `cached` memoizes the lane's minimum `(time, seq)`
+/// key; `None` means "stale or empty — rescan before trusting".
+struct Lane<E> {
+    slots: Box<[VecDeque<(u64, E)>]>,
+    bits: Box<[u64]>,
+    /// Second-level occupancy: bit `w` set iff `bits[w] != 0`. A lane
+    /// holds one partition's share of the events, so its bitmap is
+    /// `P`-times sparser than a serial wheel's — a linear word scan
+    /// would walk mostly zeros. The summary makes every scan O(1):
+    /// one masked lookup finds the next occupied word directly.
+    summary: u64,
+    wheel_len: usize,
+    over: BinaryHeap<Entry<E>>,
+    cached: Option<(Time, u64)>,
+}
+
+impl<E> Lane<E> {
+    fn new() -> Self {
+        Self {
+            slots: (0..SPAN).map(|_| VecDeque::new()).collect(),
+            bits: vec![0u64; WORDS].into_boxed_slice(),
+            summary: 0,
+            wheel_len: 0,
+            over: BinaryHeap::new(),
+            cached: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.over.len()
+    }
+
+    fn clear(&mut self) {
+        if self.wheel_len != 0 {
+            for (w, word) in self.bits.iter_mut().enumerate() {
+                let mut bs = *word;
+                while bs != 0 {
+                    let b = bs.trailing_zeros() as usize;
+                    bs &= bs - 1;
+                    self.slots[w * 64 + b].clear();
+                }
+                *word = 0;
+            }
+        }
+        self.summary = 0;
+        self.wheel_len = 0;
+        self.over.clear();
+        self.cached = None;
+    }
+
+    fn schedule(&mut self, now: Time, at: Time, seq: u64, event: E) {
+        if at.wrapping_sub(now) < SPAN as Time {
+            let slot = (at & MASK) as usize;
+            self.bits[slot / 64] |= 1u64 << (slot % 64);
+            self.summary |= 1u64 << (slot / 64);
+            self.slots[slot].push_back((seq, event));
+            self.wheel_len += 1;
+        } else {
+            self.over.push(Entry {
+                time: at,
+                seq,
+                event,
+            });
+        }
+        // Refine a valid cached key in place; on a timestamp tie the
+        // incumbent wins (its seq is provably smaller — one shared
+        // counter, and this event was scheduled later).
+        match self.cached {
+            Some((t, _)) if at < t => self.cached = Some((at, seq)),
+            Some(_) => {}
+            None if self.len() == 1 => self.cached = Some((at, seq)),
+            None => {} // stale stays stale; peek() will rescan
+        }
+    }
+
+    /// Earliest wheel key, jumping straight to the next occupied slot
+    /// (all wheel events lie in `[now, now + SPAN)`). Cyclic order from
+    /// the clock's slot: the start word's post-`now` bits, then the next
+    /// occupied word per the summary (strictly after, then wrapped
+    /// before), then the start word's pre-`now` bits.
+    fn scan_wheel(&self, now: Time) -> Option<(Time, u64)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (now & MASK) as usize;
+        let w0 = start / 64;
+        let off = start % 64;
+        let bs = self.bits[w0] & (!0u64 << off);
+        if bs != 0 {
+            return Some(self.key_at(w0 * 64 + bs.trailing_zeros() as usize, now));
+        }
+        let others = self.summary & !(1u64 << w0);
+        let hi = others & (!0u64 << w0 << 1);
+        let w = if hi != 0 {
+            hi.trailing_zeros() as usize
+        } else if others != 0 {
+            others.trailing_zeros() as usize
+        } else {
+            let pre = self.bits[w0] & !(!0u64 << off);
+            if pre != 0 {
+                return Some(self.key_at(w0 * 64 + pre.trailing_zeros() as usize, now));
+            }
+            debug_assert!(false, "wheel_len nonzero but bitmap empty");
+            return None;
+        };
+        let bs = self.bits[w];
+        Some(self.key_at(w * 64 + bs.trailing_zeros() as usize, now))
+    }
+
+    fn key_at(&self, slot: usize, now: Time) -> (Time, u64) {
+        let delta = (slot as Time).wrapping_sub(now) & MASK;
+        let seq = self.slots[slot].front().expect("occupied slot").0;
+        (now + delta, seq)
+    }
+
+    /// The lane's minimum `(time, seq)` key, memoized. Unlike the serial
+    /// queue the tie between wheel and overflow needs no structural
+    /// argument: both sides carry explicit seqs, so the comparison is
+    /// exact by construction.
+    fn peek(&mut self, now: Time) -> Option<(Time, u64)> {
+        if self.cached.is_some() {
+            return self.cached;
+        }
+        if self.len() == 0 {
+            return None;
+        }
+        let wheel = self.scan_wheel(now);
+        let over = self.over.peek().map(|e| (e.time, e.seq));
+        self.cached = match (wheel, over) {
+            (Some(w), Some(o)) => Some(if o < w { o } else { w }),
+            (w, o) => w.or(o),
+        };
+        self.cached
+    }
+
+    /// Pops the lane's minimum-key event. Caller guarantees the lane is
+    /// nonempty (peek returned `Some`).
+    fn pop(&mut self, now: Time) -> (Time, u64, E) {
+        let key = self.peek(now).expect("pop on empty lane");
+        if self.over.peek().map(|e| (e.time, e.seq)) == Some(key) {
+            let e = self.over.pop().expect("peeked entry");
+            self.cached = None;
+            return (e.time, e.seq, e.event);
+        }
+        let slot = (key.0 & MASK) as usize;
+        let (seq, event) = self.slots[slot].pop_front().expect("occupied slot");
+        debug_assert_eq!(seq, key.1, "lane cached key out of sync");
+        self.wheel_len -= 1;
+        if self.slots[slot].is_empty() {
+            self.bits[slot / 64] &= !(1u64 << (slot % 64));
+            if self.bits[slot / 64] == 0 {
+                self.summary &= !(1u64 << (slot / 64));
+            }
+            self.cached = None;
+        } else {
+            // Same slot ⇒ same timestamp; the new front is the lane's
+            // next-smallest seq at this time unless the overflow heap
+            // holds an equal-time entry — it can't: an overflow entry at
+            // `key.0` would have had a smaller seq than the entry just
+            // popped and been delivered first.
+            self.cached = Some((key.0, self.slots[slot].front().expect("nonempty").0));
+        }
+        (key.0, seq, event)
+    }
+}
+
+/// A partitioned future-event list delivering the exact global
+/// `(time, seq)` order (see module docs).
+///
+/// ```
+/// use desim::pqueue::{Owned, PartitionedQueue};
+/// use desim::queue::Sched;
+/// struct Ev(usize, char);
+/// impl Owned for Ev {
+///     fn owner(&self) -> usize {
+///         self.0
+///     }
+/// }
+/// let mut q = PartitionedQueue::new(2, 4, 1);
+/// q.schedule(10, Ev(3, 'b'));
+/// q.schedule(5, Ev(0, 'a'));
+/// q.schedule(10, Ev(1, 'c')); // same time as 'b': FIFO across lanes
+/// assert_eq!(q.pop().map(|(t, e)| (t, e.1)), Some((5, 'a')));
+/// assert_eq!(q.pop().map(|(t, e)| (t, e.1)), Some((10, 'b')));
+/// assert_eq!(q.pop().map(|(t, e)| (t, e.1)), Some((10, 'c')));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct PartitionedQueue<E> {
+    lanes: Vec<Lane<E>>,
+    /// Owner → lane, contiguous blocks (`lane = owner * P / owners`).
+    part_of: Vec<u32>,
+    now: Time,
+    seq: u64,
+    scheduled_total: u64,
+    len: usize,
+    /// Lane holding the current global minimum key (valid iff
+    /// `best_key.is_some()`); `best_key` always equals that lane's peek.
+    best: usize,
+    best_key: Option<(Time, u64)>,
+    /// Lower bound on the earliest timestamp in every lane other than
+    /// `best`. Conservative: may undershoot (forcing a rescan), never
+    /// overshoots.
+    fence: Time,
+    /// Lane of the event currently being executed (last popped); used to
+    /// classify schedules as local vs cross-partition.
+    cur_lane: usize,
+    /// Configured physical lookahead, kept for reporting.
+    lookahead: Time,
+    stats: PdesStats,
+    /// Stats snapshot of the most recently completed run, taken by
+    /// `reset` so a parked (scratch-reused) queue can still report how
+    /// the run behaved. `reconfigure` leaves it alone.
+    last_stats: PdesStats,
+}
+
+impl<E: Owned> PartitionedQueue<E> {
+    /// Creates a queue with `parts` lanes over `owners` owner indices,
+    /// mapped in contiguous blocks. `lookahead` is the fabric's claimed
+    /// minimum cross-partition latency (recorded, and checked against
+    /// observed cross-lane slack in `stats`). `parts` is clamped to
+    /// `[1, owners]`.
+    pub fn new(parts: usize, owners: usize, lookahead: Time) -> Self {
+        let mut q = Self {
+            lanes: Vec::new(),
+            part_of: Vec::new(),
+            now: 0,
+            seq: 0,
+            scheduled_total: 0,
+            len: 0,
+            best: 0,
+            best_key: None,
+            fence: Time::MAX,
+            cur_lane: 0,
+            lookahead,
+            stats: PdesStats::new(),
+            last_stats: PdesStats::new(),
+        };
+        q.reconfigure(parts, owners, lookahead);
+        q
+    }
+
+    /// Re-shapes the queue for a new run: `parts` lanes over `owners`
+    /// owners. Lane allocations are kept when the partition count is
+    /// unchanged (the scratch-reuse path); otherwise lanes are rebuilt.
+    pub fn reconfigure(&mut self, parts: usize, owners: usize, lookahead: Time) {
+        let parts = parts.clamp(1, owners.max(1));
+        self.reset_state();
+        if self.lanes.len() != parts {
+            self.lanes.truncate(parts);
+            while self.lanes.len() < parts {
+                self.lanes.push(Lane::new());
+            }
+        }
+        self.part_of.clear();
+        self.part_of
+            .extend((0..owners).map(|o| (o * parts / owners.max(1)) as u32));
+        self.lookahead = lookahead;
+    }
+
+    /// Number of partition lanes.
+    pub fn parts(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Configured physical lookahead (cycles).
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
+    /// Merge-layer statistics for the run so far.
+    pub fn stats(&self) -> PdesStats {
+        self.stats
+    }
+
+    /// Merge-layer statistics of the last completed run (snapshotted by
+    /// `reset`, which the engine calls when a run finishes).
+    pub fn last_run_stats(&self) -> PdesStats {
+        self.last_stats
+    }
+
+    fn reset_state(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.now = 0;
+        self.seq = 0;
+        self.scheduled_total = 0;
+        self.len = 0;
+        self.best = 0;
+        self.best_key = None;
+        self.fence = Time::MAX;
+        self.cur_lane = 0;
+        self.stats = PdesStats::new();
+    }
+
+    /// Full merge: recompute the best lane and the fence (the second-best
+    /// lane's earliest timestamp) from the memoized per-lane keys.
+    fn rescan(&mut self) {
+        debug_assert!(self.len > 0);
+        self.stats.merge_scans += 1;
+        let mut best = usize::MAX;
+        let mut best_key = (Time::MAX, u64::MAX);
+        let mut fence = Time::MAX;
+        for i in 0..self.lanes.len() {
+            let Some(key) = self.lanes[i].peek(self.now) else {
+                continue;
+            };
+            if key < best_key {
+                if best != usize::MAX {
+                    fence = fence.min(best_key.0);
+                }
+                best = i;
+                best_key = key;
+            } else {
+                fence = fence.min(key.0);
+            }
+        }
+        debug_assert!(best != usize::MAX, "len nonzero but all lanes empty");
+        self.best = best;
+        self.best_key = Some(best_key);
+        self.fence = fence;
+    }
+
+    /// True when the cached best key is provably the global minimum: it
+    /// is strictly below every other lane's bound. On a cross-lane tie
+    /// the fence equals the key's time and a rescan re-establishes the
+    /// seq-order winner.
+    fn best_is_exact(&self) -> bool {
+        matches!(self.best_key, Some((t, _)) if t < self.fence)
+    }
+
+    /// The exact global minimum key, rescanning if the cache can't prove
+    /// it. Returns `None` iff the queue is empty.
+    fn global_min(&mut self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.best_is_exact() {
+            self.rescan();
+        } else {
+            self.stats.local_pops += 1;
+        }
+        self.best_key
+    }
+}
+
+impl<E: Owned> Sched<E> for PartitionedQueue<E> {
+    #[inline]
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let owner = event.owner();
+        let lane = self.part_of[owner] as usize;
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.len += 1;
+        if lane != self.cur_lane {
+            self.stats.cross_msgs += 1;
+            self.stats.min_cross_slack = self.stats.min_cross_slack.min(at - self.now);
+        }
+        self.lanes[lane].schedule(self.now, at, seq, event);
+        // Merge bookkeeping. A new event has the largest seq so far, so
+        // it can displace the best key only on a strictly smaller time.
+        match self.best_key {
+            None if self.len == 1 => {
+                self.best = lane;
+                self.best_key = Some((at, seq));
+                self.fence = Time::MAX;
+            }
+            None => {
+                // Best lane ran dry earlier (cache stale). Keep the
+                // fence sound for non-best lanes; the next pop rescans.
+                if lane == self.best {
+                    self.best_key = Some((at, seq));
+                } else {
+                    self.fence = self.fence.min(at);
+                }
+            }
+            Some((bt, _)) => {
+                if lane == self.best {
+                    if at < bt {
+                        self.best_key = Some((at, seq));
+                    }
+                } else if at < bt {
+                    self.fence = self.fence.min(bt);
+                    self.best = lane;
+                    self.best_key = Some((at, seq));
+                } else {
+                    self.fence = self.fence.min(at);
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        self.global_min()?;
+        let lane = self.best;
+        let (t, seq, event) = self.lanes[lane].pop(self.now);
+        debug_assert_eq!(Some((t, seq)), self.best_key, "merge cache out of sync");
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.len -= 1;
+        self.cur_lane = lane;
+        self.best_key = self.lanes[lane].peek(self.now);
+        Some((t, event))
+    }
+
+    fn has_event_by(&mut self, t: Time) -> bool {
+        // `global_min` leaves the cache exact, so subsequent probes (the
+        // drain chain calls this once per inlined event) are O(1).
+        match self.global_min() {
+            Some((mt, _)) => mt <= t,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    fn reset(&mut self) {
+        self.last_stats = self.stats;
+        self.reset_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    struct Ev {
+        owner: usize,
+        id: u64,
+    }
+    impl Owned for Ev {
+        fn owner(&self) -> usize {
+            self.owner
+        }
+    }
+
+    fn step(r: &mut u64) -> u64 {
+        *r ^= *r << 13;
+        *r ^= *r >> 7;
+        *r ^= *r << 17;
+        *r
+    }
+
+    /// The tentpole property: for any interleaving of schedules and pops,
+    /// the partitioned queue delivers exactly what the serial queue
+    /// delivers — same times, same order — for every partition count.
+    #[test]
+    fn matches_serial_queue_exactly() {
+        for parts in [1, 2, 3, 4, 7, 16] {
+            let owners = 16;
+            let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(parts, owners, 1);
+            let mut sq: EventQueue<(usize, u64)> = EventQueue::new();
+            let mut rng: u64 = 0x5EED_CAFE ^ parts as u64;
+            for id in 0..6000u64 {
+                let roll = step(&mut rng);
+                let owner = (roll >> 32) as usize % owners;
+                let delay = match roll % 6 {
+                    0 => 0,                         // same-cycle burst
+                    1 => roll % 64,                 // short latency
+                    2 => roll % 2048,               // medium
+                    3 => SPAN as u64 + roll % 4096, // lane overflow
+                    4 => 20_000 + roll % 4096,      // both overflow
+                    _ => roll % 16,
+                };
+                let at = Sched::<Ev>::now(&pq) + delay;
+                pq.schedule(at, Ev { owner, id });
+                sq.schedule(at, (owner, id));
+                if roll.is_multiple_of(3) {
+                    let got = pq.pop().map(|(t, e)| (t, e.owner, e.id));
+                    let want = sq.pop().map(|(t, (o, i))| (t, o, i));
+                    assert_eq!(got, want, "parts={parts} id={id}");
+                }
+            }
+            loop {
+                let got = pq.pop().map(|(t, e)| (t, e.owner, e.id));
+                let want = sq.pop().map(|(t, (o, i))| (t, o, i));
+                assert_eq!(got, want, "parts={parts} drain");
+                if want.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(
+                Sched::<Ev>::scheduled_total(&pq),
+                sq.scheduled_total(),
+                "parts={parts}"
+            );
+        }
+    }
+
+    /// `has_event_by` must agree with the serial queue in every state,
+    /// including mid-run with stale lane caches and cross-lane ties.
+    #[test]
+    fn has_event_by_matches_serial() {
+        let owners = 8;
+        let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(3, owners, 1);
+        let mut sq: EventQueue<(usize, u64)> = EventQueue::new();
+        let mut rng: u64 = 0xD1FF_BEEF;
+        for id in 0..3000u64 {
+            let roll = step(&mut rng);
+            let owner = (roll >> 32) as usize % owners;
+            let delay = match roll % 5 {
+                0 => 0,
+                1 => roll % 64,
+                2 => roll % 4096,
+                3 => SPAN as u64 + roll % 4096,
+                _ => roll % 300,
+            };
+            let at = Sched::<Ev>::now(&pq) + delay;
+            pq.schedule(at, Ev { owner, id });
+            sq.schedule(at, (owner, id));
+            if roll.is_multiple_of(3) {
+                pq.pop();
+                sq.pop();
+            }
+            let probe = Sched::<Ev>::now(&pq) + step(&mut rng) % (2 * SPAN as u64);
+            assert_eq!(
+                pq.has_event_by(probe),
+                sq.has_event_by(probe),
+                "id={id} probe={probe}"
+            );
+            if let Some(n) = sq.next_time() {
+                assert!(pq.has_event_by(n));
+                if n > sq.now() {
+                    assert!(!pq.has_event_by(n - 1));
+                }
+            }
+        }
+    }
+
+    /// FIFO across lanes at one timestamp: global seq order, not
+    /// per-lane arrival order.
+    #[test]
+    fn cross_lane_fifo_at_one_timestamp() {
+        let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(4, 4, 1);
+        for id in 0..100u64 {
+            pq.schedule(
+                7,
+                Ev {
+                    owner: (id % 4) as usize,
+                    id,
+                },
+            );
+        }
+        for id in 0..100u64 {
+            let (t, e) = pq.pop().expect("pending");
+            assert_eq!((t, e.id), (7, id));
+        }
+        assert!(pq.pop().is_none());
+    }
+
+    #[test]
+    fn single_lane_pops_stay_local() {
+        let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(1, 4, 1);
+        for id in 0..500u64 {
+            pq.schedule(
+                id * 3,
+                Ev {
+                    owner: (id % 4) as usize,
+                    id,
+                },
+            );
+        }
+        while pq.pop().is_some() {}
+        let s = pq.stats();
+        // One rescan to establish the best lane; everything after is a
+        // local pop (a single lane can never tie with another).
+        assert!(s.merge_scans <= 1, "merge_scans={}", s.merge_scans);
+        assert_eq!(s.local_pops + s.merge_scans, 500);
+    }
+
+    #[test]
+    fn cross_slack_is_tracked() {
+        let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(2, 2, 5);
+        pq.schedule(0, Ev { owner: 0, id: 0 });
+        pq.pop(); // cur_lane = 0
+        pq.schedule(3, Ev { owner: 1, id: 1 }); // cross, slack 3
+        pq.schedule(2, Ev { owner: 0, id: 2 }); // local
+        let s = pq.stats();
+        assert_eq!(s.cross_msgs, 1);
+        assert_eq!(s.min_cross_slack, 3);
+    }
+
+    #[test]
+    fn reconfigure_reuses_or_rebuilds() {
+        let mut pq: PartitionedQueue<Ev> = PartitionedQueue::new(2, 8, 1);
+        pq.schedule(5, Ev { owner: 7, id: 0 });
+        pq.pop();
+        pq.reconfigure(2, 4, 3);
+        assert_eq!(pq.parts(), 2);
+        assert_eq!(pq.lookahead(), 3);
+        assert_eq!(Sched::<Ev>::now(&pq), 0);
+        assert_eq!(Sched::<Ev>::scheduled_total(&pq), 0);
+        pq.schedule(1, Ev { owner: 3, id: 1 });
+        assert_eq!(pq.pop().map(|(t, e)| (t, e.id)), Some((1, 1)));
+        pq.reconfigure(5, 10, 1);
+        assert_eq!(pq.parts(), 5);
+        // Owner blocks stay contiguous and cover every owner.
+        for o in 0..10 {
+            assert_eq!(pq.part_of[o] as usize, o * 5 / 10);
+        }
+    }
+}

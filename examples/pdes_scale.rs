@@ -1,0 +1,60 @@
+//! PDES scaling measurement: serial vs `--pdes N` wall-clock on a grid
+//! of (protocol, app, nodes) shapes. Produces the EXPERIMENTS.md "PDES"
+//! table. Best-of-5 per cell; run on an otherwise idle host.
+
+use netcache::apps::{AppId, Workload};
+use netcache::{run_workload_pdes, Arch, EngineScratch, SysConfig};
+
+fn best_of(n: usize, mut f: impl FnMut() -> u64) -> u64 {
+    (0..n).map(|_| f()).min().unwrap()
+}
+
+fn main() {
+    let grid: &[(Arch, AppId, usize, f64)] = &[
+        (Arch::NetCache, AppId::Sor, 16, 0.2),
+        (Arch::NetCache, AppId::Sor, 64, 0.05),
+        (Arch::LambdaNet, AppId::Sor, 64, 0.05),
+        (Arch::DmonI, AppId::Radix, 64, 0.05),
+        (Arch::NetCache, AppId::Water, 64, 0.05),
+    ];
+    for &(arch, app, nodes, scale) in grid {
+        let cfg = SysConfig::base(arch).with_nodes(nodes);
+        let wl = Workload::new(app, nodes).scale(scale);
+        let mut scratch = EngineScratch::new();
+        let serial = best_of(5, || {
+            netcache::run_workload(&cfg, &wl, &mut scratch).wall_ns
+        });
+        println!(
+            "{:?}/{}/n{nodes}/s{scale} serial: {:.2} ms",
+            arch,
+            app.name(),
+            serial as f64 / 1e6
+        );
+        for parts in [1usize, 2, 4, nodes] {
+            let mut scratch = EngineScratch::new();
+            let mut events = 0;
+            let w = best_of(5, || {
+                let r = run_workload_pdes(&cfg, &wl, parts, &mut scratch);
+                events = r.events;
+                r.wall_ns
+            });
+            let s = scratch.pdes_stats().expect("pdes run completed");
+            println!(
+                "{:?}/{}/n{nodes}/s{scale} pdes{parts}: {:.2} ms ({:.3}x, {} events, \
+                 {:.1}% local pops, {} cross msgs, min slack {})",
+                arch,
+                app.name(),
+                w as f64 / 1e6,
+                serial as f64 / w as f64,
+                events,
+                100.0 * s.local_pops as f64 / (s.local_pops + s.merge_scans).max(1) as f64,
+                s.cross_msgs,
+                if s.min_cross_slack == u64::MAX {
+                    "-".to_string()
+                } else {
+                    s.min_cross_slack.to_string()
+                }
+            );
+        }
+    }
+}

@@ -27,7 +27,7 @@ use std::process::exit;
 use netcache::apps::{trace, AppId, OpStream, Workload};
 use netcache::mem::AddressMap;
 use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepResult, SweepSpec};
-use netcache::{run_app, Arch, Machine, SysConfig};
+use netcache::{run_app, run_workload_pdes, Arch, EngineScratch, Machine, SysConfig};
 
 struct Args {
     positional: Vec<String>,
@@ -38,6 +38,8 @@ struct Args {
     ring_kb: Option<u64>,
     ring_kbs: Option<Vec<u64>>,
     jobs: Option<usize>,
+    /// Partition count for the conservative-PDES engine (0 = serial).
+    pdes: usize,
     json: Option<String>,
     csv: Option<String>,
     serial: bool,
@@ -50,13 +52,38 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: netcache <run|compare|sweep|trace|replay|profile|bench-engine|bench-compare> ... \
-         [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K]\n\
+         [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K] \
+         [--pdes N]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
          [--json FILE] [--csv FILE] [--serial] [--quiet]\n\
          bench-compare flags: --baseline FILE [--tolerance T]\n\
-         bench-engine flags: [--update-baseline] [--json FILE] (neither: dry run)"
+         bench-engine flags: [--update-baseline] [--json FILE] (neither: dry run)\n\
+         --pdes N partitions the machine across N event wheels (run, sweep, \
+         bench-engine); results are bit-identical to the serial engine"
     );
     exit(2)
+}
+
+/// Parses a numeric flag value, failing with the flag's name rather than
+/// the generic usage dump — a typo in one flag shouldn't cost the caller
+/// the context of *which* flag was wrong.
+fn parse_num<T: std::str::FromStr>(name: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {v:?} for {name}: expected a number");
+        exit(2)
+    })
+}
+
+/// [`parse_num`] for counts that must be at least 1 (`--jobs 0` or
+/// `--pdes 0` would mean "no workers"/"no partitions" — a configuration
+/// with no meaning, named as such instead of misbehaving downstream).
+fn parse_count(name: &str, v: &str) -> usize {
+    let n: usize = parse_num(name, v);
+    if n == 0 {
+        eprintln!("invalid value 0 for {name}: must be at least 1");
+        exit(2)
+    }
+    n
 }
 
 fn parse_arch(name: &str) -> Arch {
@@ -82,6 +109,7 @@ fn parse_args() -> Args {
         ring_kb: None,
         ring_kbs: None,
         jobs: None,
+        pdes: 0,
         json: None,
         csv: None,
         serial: false,
@@ -108,26 +136,21 @@ fn parse_args() -> Args {
                     v.split(',').map(parse_arch).collect()
                 });
             }
-            "--scale" => {
-                args.scale = grab("--scale").parse().unwrap_or_else(|_| usage());
-            }
-            "--procs" => {
-                args.procs = grab("--procs").parse().unwrap_or_else(|_| usage());
-            }
+            "--scale" => args.scale = parse_num("--scale", &grab("--scale")),
+            "--procs" => args.procs = parse_count("--procs", &grab("--procs")),
             "--ring-kb" => {
-                args.ring_kb = Some(grab("--ring-kb").parse().unwrap_or_else(|_| usage()));
+                args.ring_kb = Some(parse_num("--ring-kb", &grab("--ring-kb")));
             }
             "--ring-kbs" => {
                 args.ring_kbs = Some(
                     grab("--ring-kbs")
                         .split(',')
-                        .map(|k| k.parse().unwrap_or_else(|_| usage()))
+                        .map(|k| parse_num("--ring-kbs", k))
                         .collect(),
                 );
             }
-            "--jobs" => {
-                args.jobs = Some(grab("--jobs").parse().unwrap_or_else(|_| usage()));
-            }
+            "--jobs" => args.jobs = Some(parse_count("--jobs", &grab("--jobs"))),
+            "--pdes" => args.pdes = parse_count("--pdes", &grab("--pdes")),
             "--json" => args.json = Some(grab("--json")),
             "--csv" => args.csv = Some(grab("--csv")),
             "--serial" => args.serial = true,
@@ -135,7 +158,7 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(grab("--baseline")),
             "--update-baseline" => args.update_baseline = true,
             "--tolerance" => {
-                args.tolerance = grab("--tolerance").parse().unwrap_or_else(|_| usage());
+                args.tolerance = parse_num("--tolerance", &grab("--tolerance"));
             }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -180,8 +203,20 @@ fn engine_grid(args: &Args) -> SweepResult {
         .all_apps()
         .nodes([args.procs])
         .scale(args.scale)
+        .pdes(args.pdes)
         .build()
         .run_serial()
+}
+
+/// Engine label for bench metadata: which event-loop variant timed the
+/// grid (cells run one at a time either way; `pdesN` partitions the
+/// event wheel *within* each cell).
+fn engine_name(args: &Args) -> String {
+    if args.pdes >= 1 {
+        format!("pdes{}", args.pdes)
+    } else {
+        "serial".into()
+    }
 }
 
 /// Grid-wide engine-throughput aggregates.
@@ -213,11 +248,21 @@ impl EngineAgg {
         self.sim_ns as f64 / 1e9
     }
 
+    /// Throughput with a guarded denominator: a degenerate grid whose
+    /// cells all finish in under a nanosecond tick reports 0, never
+    /// `inf`/`NaN` — `checked_baseline_eps` hard-fails on those, so the
+    /// producer must not be able to write them into a baseline.
     fn events_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
         self.events as f64 / self.engine_s()
     }
 
     fn ops_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            return 0.0;
+        }
         self.ops as f64 / self.engine_s()
     }
 }
@@ -319,7 +364,12 @@ fn main() {
                     .unwrap_or_else(|| usage()),
             );
             let cfg = config(&args);
-            let r = run_app(&cfg, &Workload::new(app, args.procs).scale(args.scale));
+            let wl = Workload::new(app, args.procs).scale(args.scale);
+            let r = if args.pdes >= 1 {
+                run_workload_pdes(&cfg, &wl, args.pdes, &mut EngineScratch::new())
+            } else {
+                run_app(&cfg, &wl)
+            };
             println!("{}", r.summary());
             println!(
                 "read stall {:.1}%  wb stall {:.1}%  sync {:.1}%  avg shared-read {:.0} pcycles",
@@ -368,7 +418,8 @@ fn main() {
                 .archs(args.archs.clone().unwrap_or_else(|| Arch::ALL.to_vec()))
                 .apps(apps)
                 .nodes([args.procs])
-                .scale(args.scale);
+                .scale(args.scale)
+                .pdes(args.pdes);
             if let Some(kbs) = &args.ring_kbs {
                 spec = spec.ring_kb(kbs.iter().copied());
             }
@@ -514,11 +565,12 @@ fn main() {
                 .map(|prev| history_entries(&prev))
                 .unwrap_or_default();
             let mut json = format!(
-                "{{\n  \"bench\": \"engine\",\n  \"grid\": \"{} x {} apps, {} nodes, scale {}, serial\",\n  \"cells\": [\n",
+                "{{\n  \"bench\": \"engine\",\n  \"grid\": \"{} x {} apps, {} nodes, scale {}, {}\",\n  \"cells\": [\n",
                 args.arch.name(),
                 result.runs.len(),
                 args.procs,
-                args.scale
+                args.scale,
+                engine_name(&args)
             );
             for (i, r) in result.runs.iter().enumerate() {
                 let comma = if i + 1 < result.runs.len() { "," } else { "" };
@@ -680,6 +732,29 @@ mod tests {
         assert!(checked_baseline_eps(Some(f64::NAN)).is_err());
         assert!(checked_baseline_eps(Some(f64::INFINITY)).is_err());
         assert_eq!(checked_baseline_eps(Some(4785425.0)), Ok(4785425.0));
+    }
+
+    /// The producer side of the same gate: sub-tick grids must emit 0,
+    /// not `inf`/`NaN`, so a recorded baseline can never poison
+    /// `checked_baseline_eps` in the first place.
+    #[test]
+    fn engine_agg_guards_zero_wall_time() {
+        let degenerate = EngineAgg {
+            events: 100,
+            ops: 50,
+            elided: 0,
+            sim_ns: 0,
+        };
+        assert_eq!(degenerate.events_per_sec(), 0.0);
+        assert_eq!(degenerate.ops_per_sec(), 0.0);
+        let normal = EngineAgg {
+            events: 100,
+            ops: 50,
+            elided: 0,
+            sim_ns: 1_000_000_000,
+        };
+        assert_eq!(normal.events_per_sec(), 100.0);
+        assert_eq!(normal.ops_per_sec(), 50.0);
     }
 
     #[test]
