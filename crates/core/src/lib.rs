@@ -16,6 +16,8 @@
 //! | [`config`] | §4.1, §5.3–5.4 | base machine + every studied parameter |
 //! | [`metrics`] | §5 | the measurements the figures are made of |
 //! | [`sweep`] | §5 (all grids) | the parallel experiment sweep engine |
+//! | [`store`] | — | content-addressed on-disk result store (sweep cache/resume) |
+//! | [`json`] | — | strict RFC 8259 round-trip machinery (records, emitters) |
 //!
 //! ## Example
 //!
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod config;
+pub mod json;
 pub mod latency;
 pub mod machine;
 pub mod metrics;
@@ -38,6 +41,7 @@ pub mod proto;
 pub mod ring;
 pub mod runner;
 pub mod sharers;
+pub mod store;
 pub mod sweep;
 
 pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
@@ -46,5 +50,6 @@ pub use metrics::{NodeStats, RunReport};
 pub use pdes::{fabric_lookahead, run_streams_pdes, run_workload_pdes};
 pub use proto::{Node, ProtoCounters, Protocol, ReadKind};
 pub use ring::{RingCache, RingLookup, RingStats};
-pub use runner::{compare, run_app, speedup};
+pub use runner::{compare, compare_stored, run_app, speedup, speedup_stored};
+pub use store::{cell_key, point_key, Store, StoreStats};
 pub use sweep::{Sweep, SweepPoint, SweepResult, SweepRun, SweepSpec};

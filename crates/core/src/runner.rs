@@ -3,7 +3,8 @@
 use crate::config::SysConfig;
 use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
-use crate::sweep::{par_map, Sweep, SweepPoint};
+use crate::store::{cell_key, Store};
+use crate::sweep::{par_map, NoopObserver, Sweep, SweepPoint};
 use netcache_apps::{AppId, Workload};
 
 /// Worker count for the implicit parallelism in [`compare`] and
@@ -24,6 +25,19 @@ pub fn run_app(cfg: &SysConfig, workload: &Workload) -> RunReport {
 /// returns `(t1, tp, speedup)` — the paper's Fig. 5 metric. The two runs
 /// are independent and execute concurrently through the sweep engine.
 pub fn speedup(cfg: &SysConfig, app: AppId, procs: usize, scale: f64) -> (u64, u64, f64) {
+    speedup_stored(cfg, app, procs, scale, None)
+}
+
+/// [`speedup`] reading through an on-disk result store: both endpoints
+/// are consulted before simulating and written back after (see
+/// [`crate::store`]), so a repeated Fig. 5 row costs two lookups.
+pub fn speedup_stored(
+    cfg: &SysConfig,
+    app: AppId,
+    procs: usize,
+    scale: f64,
+    store: Option<&Store>,
+) -> (u64, u64, f64) {
     let mut uni = SysConfig { nodes: 1, ..*cfg };
     // A 1-node ring would be degenerate; the uniprocessor baseline has
     // no network at all.
@@ -36,7 +50,7 @@ pub fn speedup(cfg: &SysConfig, app: AppId, procs: usize, scale: f64) -> (u64, u
         SweepPoint::new(uni, app, scale),
         SweepPoint::new(par, app, scale),
     ]);
-    let result = sweep.run(default_jobs());
+    let result = sweep.run_stored(default_jobs(), &NoopObserver, store);
     let (t1, tp) = (result.runs[0].report.cycles, result.runs[1].report.cycles);
     (t1, tp, t1 as f64 / tp as f64)
 }
@@ -49,9 +63,38 @@ pub fn compare<'a>(
     procs: usize,
     scale: f64,
 ) -> Vec<RunReport> {
+    compare_stored(cfgs, app, procs, scale, None)
+}
+
+/// [`compare`] reading through an on-disk result store. Unlike the
+/// sweep path, the workload's processor count is the caller's `procs`
+/// (not each config's node count), so the cell key is built from the
+/// exact `(config, workload)` pair simulated.
+pub fn compare_stored<'a>(
+    cfgs: impl IntoIterator<Item = &'a SysConfig>,
+    app: AppId,
+    procs: usize,
+    scale: f64,
+    store: Option<&Store>,
+) -> Vec<RunReport> {
     let cfgs: Vec<SysConfig> = cfgs.into_iter().copied().collect();
     par_map(cfgs, default_jobs(), |_, c| {
-        run_app(&c, &Workload::new(app, procs).scale(scale))
+        let wl = Workload::new(app, procs).scale(scale);
+        if let Some(st) = store {
+            let key = cell_key(&c, &wl);
+            if let Ok(report) = st.load(key) {
+                return report;
+            }
+            let report = run_app(&c, &wl);
+            st.save(
+                key,
+                &format!("compare/{}/{}", c.arch.name(), app.name()),
+                &wl,
+                &report,
+            );
+            return report;
+        }
+        run_app(&c, &wl)
     })
 }
 

@@ -27,16 +27,18 @@
 //! are therefore bit-identical however the points are scheduled — which
 //! [`Sweep::run_serial`] lets tests assert directly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use netcache_apps::{AppId, Workload};
 
 use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
+use crate::json;
 use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
 use crate::pdes::run_workload_pdes;
+use crate::store::Store;
 
 /// One fully resolved cell of a sweep grid.
 #[derive(Debug, Clone)]
@@ -345,31 +347,87 @@ impl Sweep {
 
     /// [`Sweep::run`] with a progress observer (the CLI's live counter).
     pub fn run_observed(&self, jobs: usize, obs: &(impl SweepObserver + ?Sized)) -> SweepResult {
+        self.run_stored(jobs, obs, None)
+    }
+
+    /// [`Sweep::run_observed`] reading through an on-disk result store.
+    ///
+    /// With a store, every cell is consulted **before** dispatch: hits
+    /// are served inline (no simulation, no worker slot) and only the
+    /// missing/invalidated cells fan out to the pool; each computed
+    /// cell writes back atomically on completion, so a killed sweep
+    /// resumes losing at most its in-flight cells. Served reports are
+    /// digest-verified ([`crate::store`]), so warm results are
+    /// bit-identical to cold ones. Hit/miss/invalidated counts
+    /// accumulate on the store handle ([`Store::stats`]).
+    pub fn run_stored(
+        &self,
+        jobs: usize,
+        obs: &(impl SweepObserver + ?Sized),
+        store: Option<&Store>,
+    ) -> SweepResult {
         let total = self.points.len();
         let t0 = Instant::now();
-        let runs = par_map_with(
-            self.points.clone(),
+        let run_cell = |scratch: &mut EngineScratch, i: usize, p: SweepPoint| {
+            obs.on_start(i, total, &p.label);
+            let rt0 = Instant::now();
+            let report = p.run_with(scratch);
+            let wall = rt0.elapsed();
+            obs.on_finish(i, total, &p.label, wall, &report);
+            if let Some(st) = store {
+                st.save_point(&p, &report);
+            }
+            SweepRun {
+                label: p.label,
+                arch: report.arch,
+                app: p.app,
+                nodes: p.cfg.nodes,
+                scale: p.scale,
+                wall,
+                report,
+                cached: false,
+            }
+        };
+        // Consultation pre-pass: resolve hits inline, queue the rest.
+        let mut slots: Vec<Option<SweepRun>> = Vec::with_capacity(total);
+        let mut pending: Vec<(usize, SweepPoint)> = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let hit = store.and_then(|st| {
+                let rt0 = Instant::now();
+                st.load_point(p).ok().map(|report| {
+                    obs.on_start(i, total, &p.label);
+                    let wall = rt0.elapsed();
+                    obs.on_finish(i, total, &p.label, wall, &report);
+                    SweepRun {
+                        label: p.label.clone(),
+                        arch: report.arch,
+                        app: p.app,
+                        nodes: p.cfg.nodes,
+                        scale: p.scale,
+                        wall,
+                        report,
+                        cached: true,
+                    }
+                })
+            });
+            if hit.is_none() {
+                pending.push((i, p.clone()));
+            }
+            slots.push(hit);
+        }
+        for (i, run) in par_map_with(
+            pending,
             jobs,
             EngineScratch::new,
-            |scratch, i, p: SweepPoint| {
-                obs.on_start(i, total, &p.label);
-                let rt0 = Instant::now();
-                let report = p.run_with(scratch);
-                let wall = rt0.elapsed();
-                obs.on_finish(i, total, &p.label, wall, &report);
-                SweepRun {
-                    label: p.label,
-                    arch: report.arch,
-                    app: p.app,
-                    nodes: p.cfg.nodes,
-                    scale: p.scale,
-                    wall,
-                    report,
-                }
-            },
-        );
+            |scratch, _, (i, p): (usize, SweepPoint)| (i, run_cell(scratch, i, p)),
+        ) {
+            slots[i] = Some(run);
+        }
         SweepResult {
-            runs,
+            runs: slots
+                .into_iter()
+                .map(|s| s.expect("every grid slot resolved"))
+                .collect(),
             wall: t0.elapsed(),
             jobs: jobs.clamp(1, total.max(1)),
         }
@@ -379,6 +437,12 @@ impl Sweep {
     /// worker pool at all. The property tests assert `run_serial()` and
     /// `run(j)` produce bit-identical reports.
     pub fn run_serial(&self) -> SweepResult {
+        self.run_serial_stored(None)
+    }
+
+    /// [`Sweep::run_serial`] reading through an on-disk result store
+    /// (same consult/write-back contract as [`Sweep::run_stored`]).
+    pub fn run_serial_stored(&self, store: Option<&Store>) -> SweepResult {
         let t0 = Instant::now();
         let mut scratch = EngineScratch::new();
         let runs = self
@@ -386,7 +450,16 @@ impl Sweep {
             .iter()
             .map(|p| {
                 let rt0 = Instant::now();
-                let report = p.run_with(&mut scratch);
+                let (report, cached) = match store.map(|st| st.load_point(p)) {
+                    Some(Ok(report)) => (report, true),
+                    _ => {
+                        let report = p.run_with(&mut scratch);
+                        if let Some(st) = store {
+                            st.save_point(p, &report);
+                        }
+                        (report, false)
+                    }
+                };
                 SweepRun {
                     label: p.label.clone(),
                     arch: report.arch,
@@ -395,6 +468,7 @@ impl Sweep {
                     scale: p.scale,
                     wall: rt0.elapsed(),
                     report,
+                    cached,
                 }
             })
             .collect();
@@ -421,8 +495,13 @@ pub struct SweepRun {
     pub scale: f64,
     /// The simulation's report.
     pub report: RunReport,
-    /// Host wall-clock time this cell took.
+    /// Host wall-clock time this cell took (for a cached cell: the
+    /// store lookup time).
     pub wall: Duration,
+    /// True if the report was served from the result store instead of
+    /// simulated. Not emitted in CSV/JSON — warm output must stay
+    /// byte-identical to cold output in every digest-relevant column.
+    pub cached: bool,
 }
 
 /// All cells of a completed sweep, in grid order.
@@ -440,6 +519,16 @@ impl SweepResult {
     /// The reports alone, in grid order.
     pub fn reports(&self) -> Vec<&RunReport> {
         self.runs.iter().map(|r| &r.report).collect()
+    }
+
+    /// How many cells were served from the result store.
+    pub fn cached_cells(&self) -> usize {
+        self.runs.iter().filter(|r| r.cached).count()
+    }
+
+    /// How many cells were actually simulated.
+    pub fn computed_cells(&self) -> usize {
+        self.runs.len() - self.cached_cells()
     }
 
     /// CSV emission: one header line plus one row per cell.
@@ -528,23 +617,10 @@ impl SweepResult {
     }
 }
 
-/// Escapes `s` for embedding inside a JSON string literal: backslash,
-/// double quote, and control characters (RFC 8259 §7). Everything else
-/// passes through (the emitter writes UTF-8).
+/// String escaping for the JSON emitters — the shared RFC 8259
+/// machinery in [`crate::json`].
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    json::escape(s)
 }
 
 /// Observer hooks on the worker pool. Implementations must be `Sync`:
@@ -628,6 +704,18 @@ where
     par_map_with(items, jobs, || (), |(), i, x| f(i, x))
 }
 
+/// Locks `m`, recovering the payload from a poisoned mutex. Poisoning
+/// here only ever means "some worker panicked while this sweep was in
+/// flight"; the data under the lock is a plain slot (an `Option` being
+/// taken or filled), which no panic can leave half-written. Recovering
+/// instead of unwrapping is what keeps a panicking cell's *original*
+/// message alive — a secondary `PoisonError` panic while the first
+/// panic unwinds would abort the process (double panic) or, at best,
+/// replace the root cause with `"poisoned lock"` noise.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// [`par_map`] with per-worker state: every worker thread builds one `S`
 /// via `init()` when it starts and threads it through each `f` call it
 /// executes. The sweep engine uses this to reuse engine allocations
@@ -638,7 +726,14 @@ where
 /// caller's thread with a single state.
 ///
 /// # Panics
-/// Propagates the first worker panic after the scope joins.
+/// Propagates the **first** worker panic — with its original payload,
+/// so the panic message points at the failing cell — after the scope
+/// joins. Each worker catches its own panic and parks the payload in a
+/// shared slot; remaining workers drain and stop at the next item
+/// boundary. All slot handoff locks recover from poisoning
+/// ([`lock_recovering`]), so a second panicking cell can never turn
+/// into a secondary `PoisonError` panic (which would either mask the
+/// original message or abort the process outright).
 pub fn par_map_with<I, O, S, G, F>(items: Vec<I>, jobs: usize, init: G, f: F) -> Vec<O>
 where
     I: Send,
@@ -661,25 +756,52 @@ where
     let inputs: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // First panic payload wins the slot; the flag makes the others stop
+    // picking up new items instead of racing to finish a doomed sweep.
+    let panicked = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| {
                 let mut state = init();
-                loop {
+                while !panicked.load(Ordering::Relaxed) {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let item = inputs[i].lock().unwrap().take().expect("input taken once");
-                    let out = f(&mut state, i, item);
-                    *outputs[i].lock().unwrap() = Some(out);
+                    let item = lock_recovering(&inputs[i])
+                        .take()
+                        .expect("input taken once");
+                    // AssertUnwindSafe: on panic both `state` and `item`
+                    // are discarded (this worker stops and the sweep
+                    // aborts), so no torn value is ever observed.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(&mut state, i, item)
+                    })) {
+                        Ok(out) => *lock_recovering(&outputs[i]) = Some(out),
+                        Err(payload) => {
+                            panicked.store(true, Ordering::Relaxed);
+                            let mut slot = lock_recovering(&panic_slot);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            break;
+                        }
+                    }
                 }
             });
         }
     });
+    if let Some(payload) = lock_recovering(&panic_slot).take() {
+        std::panic::resume_unwind(payload);
+    }
     outputs
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -922,179 +1044,6 @@ mod tests {
         assert!(total_seen <= 4);
     }
 
-    /// A minimal strict JSON parser (test-only; the workspace stays
-    /// dependency-free). Enough of RFC 8259 to round-trip the emitter's
-    /// output: objects, arrays, strings with escapes, numbers.
-    mod json {
-        #[derive(Debug, PartialEq)]
-        pub enum Value {
-            Num(f64),
-            Str(String),
-            Arr(Vec<Value>),
-            Obj(Vec<(String, Value)>),
-        }
-
-        impl Value {
-            pub fn get(&self, key: &str) -> Option<&Value> {
-                match self {
-                    Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                    _ => None,
-                }
-            }
-            pub fn as_str(&self) -> Option<&str> {
-                match self {
-                    Value::Str(s) => Some(s),
-                    _ => None,
-                }
-            }
-        }
-
-        pub fn parse(s: &str) -> Result<Value, String> {
-            let b = s.as_bytes();
-            let mut i = 0;
-            let v = value(b, &mut i)?;
-            skip_ws(b, &mut i);
-            if i != b.len() {
-                return Err(format!("trailing garbage at byte {i}"));
-            }
-            Ok(v)
-        }
-
-        fn skip_ws(b: &[u8], i: &mut usize) {
-            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-                *i += 1;
-            }
-        }
-
-        fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
-            if *i < b.len() && b[*i] == c {
-                *i += 1;
-                Ok(())
-            } else {
-                Err(format!("expected {:?} at byte {}", c as char, *i))
-            }
-        }
-
-        fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
-            skip_ws(b, i);
-            match b.get(*i) {
-                Some(b'{') => {
-                    *i += 1;
-                    let mut fields = Vec::new();
-                    skip_ws(b, i);
-                    if b.get(*i) == Some(&b'}') {
-                        *i += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    loop {
-                        skip_ws(b, i);
-                        let Value::Str(k) = string(b, i)? else {
-                            unreachable!()
-                        };
-                        skip_ws(b, i);
-                        expect(b, i, b':')?;
-                        fields.push((k, value(b, i)?));
-                        skip_ws(b, i);
-                        match b.get(*i) {
-                            Some(b',') => *i += 1,
-                            Some(b'}') => {
-                                *i += 1;
-                                return Ok(Value::Obj(fields));
-                            }
-                            _ => return Err(format!("bad object at byte {}", *i)),
-                        }
-                    }
-                }
-                Some(b'[') => {
-                    *i += 1;
-                    let mut items = Vec::new();
-                    skip_ws(b, i);
-                    if b.get(*i) == Some(&b']') {
-                        *i += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    loop {
-                        items.push(value(b, i)?);
-                        skip_ws(b, i);
-                        match b.get(*i) {
-                            Some(b',') => *i += 1,
-                            Some(b']') => {
-                                *i += 1;
-                                return Ok(Value::Arr(items));
-                            }
-                            _ => return Err(format!("bad array at byte {}", *i)),
-                        }
-                    }
-                }
-                Some(b'"') => string(b, i),
-                Some(_) => {
-                    let start = *i;
-                    while *i < b.len()
-                        && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                    {
-                        *i += 1;
-                    }
-                    std::str::from_utf8(&b[start..*i])
-                        .ok()
-                        .and_then(|t| t.parse().ok())
-                        .map(Value::Num)
-                        .ok_or_else(|| format!("bad number at byte {start}"))
-                }
-                None => Err("unexpected end".into()),
-            }
-        }
-
-        fn string(b: &[u8], i: &mut usize) -> Result<Value, String> {
-            expect(b, i, b'"')?;
-            let mut out = String::new();
-            loop {
-                match b.get(*i) {
-                    Some(b'"') => {
-                        *i += 1;
-                        return Ok(Value::Str(out));
-                    }
-                    Some(b'\\') => {
-                        *i += 1;
-                        match b.get(*i) {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = b
-                                    .get(*i + 1..*i + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or_else(|| format!("bad \\u at byte {}", *i))?;
-                                out.push(
-                                    char::from_u32(hex)
-                                        .ok_or_else(|| format!("bad code point {hex:#x}"))?,
-                                );
-                                *i += 4;
-                            }
-                            _ => return Err(format!("bad escape at byte {}", *i)),
-                        }
-                        *i += 1;
-                    }
-                    Some(&c) if c < 0x20 => return Err(format!("raw control char at byte {}", *i)),
-                    Some(_) => {
-                        let start = *i;
-                        while *i < b.len() && b[*i] != b'"' && b[*i] != b'\\' && b[*i] >= 0x20 {
-                            *i += 1;
-                        }
-                        out.push_str(
-                            std::str::from_utf8(&b[start..*i])
-                                .map_err(|_| "bad utf-8".to_string())?,
-                        );
-                    }
-                    None => return Err("unterminated string".into()),
-                }
-            }
-        }
-    }
-
     #[test]
     fn json_emission_round_trips_through_a_strict_parser() {
         let sweep = SweepSpec::new()
@@ -1122,9 +1071,106 @@ mod tests {
         );
         assert_eq!(cells[0].get("app").and_then(|v| v.as_str()), Some("fft"));
         assert!(matches!(
-            cells[0].get("events"),
-            Some(json::Value::Num(n)) if *n > 0.0
+            cells[0].get("events").and_then(|v| v.as_u64()),
+            Some(n) if n > 0
         ));
+    }
+
+    // -----------------------------------------------------------------
+    // Adversarial panic handoff: a panicking cell must surface its
+    // ORIGINAL panic payload — never a secondary lock panic, never a
+    // process abort from a panic-while-panicking.
+
+    /// Extracts the human message from a panic payload (both `panic!`
+    /// forms: `&str` literal and formatted `String`).
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".into())
+    }
+
+    #[test]
+    fn par_map_with_surfaces_the_original_panic_message() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(
+                (0..16u64).collect::<Vec<_>>(),
+                4,
+                || (),
+                |(), _, x| {
+                    if x == 11 {
+                        panic!("cell 11 diverged: distinctive payload {x}");
+                    }
+                    x
+                },
+            )
+        });
+        let msg = panic_message(&*result.expect_err("panic was swallowed"));
+        assert!(
+            msg.contains("cell 11 diverged: distinctive payload 11"),
+            "original panic message lost; got: {msg}"
+        );
+    }
+
+    #[test]
+    fn par_map_with_survives_double_panics_with_a_real_payload() {
+        // Every worker's first item panics (near-)simultaneously, with
+        // barrier-forced overlap: each panicking cell waits until every
+        // worker holds a panicking item. Pre-hardening, concurrent
+        // panics racing the poisoned slot mutexes could raise a
+        // secondary PoisonError panic (masking the message) or abort
+        // the process. The surfaced payload must be one of the
+        // original cell messages.
+        use std::sync::Barrier;
+        let workers = 4;
+        let barrier = Barrier::new(workers);
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(
+                (0..workers).collect::<Vec<_>>(),
+                workers,
+                || (),
+                |(), i, _x| {
+                    barrier.wait();
+                    panic!("cell {i} exploded");
+                },
+            )
+        });
+        let msg = panic_message(&*result.expect_err("panic was swallowed"));
+        assert!(
+            msg.contains("exploded"),
+            "payload must be an original cell message, got: {msg}"
+        );
+        assert!(
+            !msg.contains("poison"),
+            "secondary lock panic masked the original: {msg}"
+        );
+    }
+
+    #[test]
+    fn par_map_with_poisoned_output_slots_do_not_mask_the_panic() {
+        // One cell panics *while other cells are still completing*: the
+        // late completions write their outputs through (possibly
+        // poisoned) mutexes after the flag is up. The drain must not
+        // trip over poisoning before resume_unwind fires.
+        use std::sync::atomic::AtomicBool;
+        let tripped = AtomicBool::new(false);
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(
+                (0..64u64).collect::<Vec<_>>(),
+                8,
+                || (),
+                |(), _, x| {
+                    if x == 0 && !tripped.swap(true, Ordering::SeqCst) {
+                        panic!("first cell died");
+                    }
+                    std::thread::yield_now();
+                    x
+                },
+            )
+        });
+        let msg = panic_message(&*result.expect_err("panic was swallowed"));
+        assert!(msg.contains("first cell died"), "got: {msg}");
     }
 
     #[test]

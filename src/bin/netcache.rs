@@ -2,14 +2,14 @@
 //!
 //! ```text
 //! netcache run <app> [--arch A] [--scale S] [--procs P] [--ring-kb K]
-//! netcache compare <app> [--scale S] [--procs P]
+//! netcache compare <app> [--scale S] [--procs P] [--store DIR]
 //! netcache sweep [apps...] [--archs A,B|all] [--jobs N] [--scale S]
 //!                [--procs P] [--ring-kbs K,K,...] [--json F] [--csv F]
-//!                [--serial] [--quiet]            # grid sweep engine
+//!                [--serial] [--quiet] [--store DIR|--no-store]  # grid sweep engine
 //! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
 //! netcache profile <app> [--scale S] [--procs P]       # stream statistics
-//! netcache bench-engine [--update-baseline|--json F] [--procs P] [--scale S]  # engine events/sec (dry run by default)
+//! netcache bench-engine [--update-baseline|--json F] [--procs P] [--scale S] [--store DIR]  # engine events/sec (dry run by default)
 //! netcache bench-compare --baseline F [--tolerance T]  # perf-regression gate
 //! ```
 //!
@@ -20,6 +20,13 @@
 //! worker threads (default: every host core). Reports always come back
 //! in grid order and are bit-identical to a `--serial` run; see
 //! DESIGN.md on why determinism survives parallel execution.
+//!
+//! `--store DIR` points `sweep`/`compare` at a content-addressed on-disk
+//! result store: cells already present (same config, workload, and
+//! engine version) are served from disk instead of re-simulated, and
+//! freshly computed cells are written back — so an interrupted sweep
+//! resumes where it left off. `bench-engine` always re-simulates (it
+//! measures engine time) but *seeds* the store with its reports.
 
 use std::io::Write as _;
 use std::process::exit;
@@ -27,7 +34,7 @@ use std::process::exit;
 use netcache::apps::{trace, AppId, OpStream, Workload};
 use netcache::mem::AddressMap;
 use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepResult, SweepSpec};
-use netcache::{run_app, run_workload_pdes, Arch, EngineScratch, Machine, SysConfig};
+use netcache::{run_app, run_workload_pdes, Arch, EngineScratch, Machine, Store, SysConfig};
 
 struct Args {
     positional: Vec<String>,
@@ -47,6 +54,10 @@ struct Args {
     baseline: Option<String>,
     tolerance: f64,
     update_baseline: bool,
+    /// Directory of the on-disk result store (sweep/compare read through
+    /// it, bench-engine seeds it).
+    store: Option<String>,
+    no_store: bool,
 }
 
 fn usage() -> ! {
@@ -55,11 +66,13 @@ fn usage() -> ! {
          [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K] \
          [--pdes N]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
-         [--json FILE] [--csv FILE] [--serial] [--quiet]\n\
+         [--json FILE] [--csv FILE] [--serial] [--quiet] [--store DIR|--no-store]\n\
          bench-compare flags: --baseline FILE [--tolerance T]\n\
-         bench-engine flags: [--update-baseline] [--json FILE] (neither: dry run)\n\
+         bench-engine flags: [--update-baseline] [--json FILE] [--store DIR] (neither: dry run)\n\
          --pdes N partitions the machine across N event wheels (run, sweep, \
-         bench-engine); results are bit-identical to the serial engine"
+         bench-engine); results are bit-identical to the serial engine\n\
+         --store DIR caches results on disk (sweep/compare serve cached cells, \
+         bench-engine seeds); --no-store forces recomputation"
     );
     exit(2)
 }
@@ -117,6 +130,8 @@ fn parse_args() -> Args {
         baseline: None,
         tolerance: 0.15,
         update_baseline: false,
+        store: None,
+        no_store: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -157,6 +172,8 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--baseline" => args.baseline = Some(grab("--baseline")),
             "--update-baseline" => args.update_baseline = true,
+            "--store" => args.store = Some(grab("--store")),
+            "--no-store" => args.no_store = true,
             "--tolerance" => {
                 args.tolerance = parse_num("--tolerance", &grab("--tolerance"));
             }
@@ -167,7 +184,23 @@ fn parse_args() -> Args {
             _ => args.positional.push(a),
         }
     }
+    if args.store.is_some() && args.no_store {
+        eprintln!("--store and --no-store conflict: pass at most one of them");
+        exit(2)
+    }
     args
+}
+
+/// Opens the `--store` directory, if one was requested. Failures (path
+/// not creatable, not writable) name the flag and exit 2 — the caller
+/// asked for persistence, so silently running storeless would lose every
+/// result they expected to keep.
+fn open_store(args: &Args) -> Option<Store> {
+    let dir = args.store.as_ref()?;
+    Some(Store::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open --store {dir}: {e}");
+        exit(2)
+    }))
 }
 
 fn app_by_name(name: &str) -> AppId {
@@ -197,7 +230,7 @@ fn config(args: &Args) -> SysConfig {
 /// contend for cores; events/sec uses each report's own event-loop wall
 /// time (`wall_ns`), which excludes machine construction but includes
 /// lazy op generation — the engine's real steady-state cost.
-fn engine_grid(args: &Args) -> SweepResult {
+fn engine_sweep(args: &Args) -> netcache::Sweep {
     SweepSpec::new()
         .archs([args.arch])
         .all_apps()
@@ -205,7 +238,10 @@ fn engine_grid(args: &Args) -> SweepResult {
         .scale(args.scale)
         .pdes(args.pdes)
         .build()
-        .run_serial()
+}
+
+fn engine_grid(args: &Args) -> SweepResult {
+    engine_sweep(args).run_serial()
 }
 
 /// Engine label for bench metadata: which event-loop variant timed the
@@ -392,7 +428,9 @@ fn main() {
                 .iter()
                 .map(|&a| SysConfig::base(a).with_nodes(args.procs))
                 .collect();
-            let reports = netcache::compare(cfgs.iter(), app, args.procs, args.scale);
+            let store = open_store(&args);
+            let reports =
+                netcache::compare_stored(cfgs.iter(), app, args.procs, args.scale, store.as_ref());
             let base = reports[0].cycles;
             for r in &reports {
                 println!(
@@ -429,15 +467,16 @@ fn main() {
                     .map(|p| p.get())
                     .unwrap_or(1)
             });
+            let store = open_store(&args);
             let result = if args.serial {
-                sweep.run_serial()
+                sweep.run_serial_stored(store.as_ref())
             } else {
                 let obs: &dyn SweepObserver = if args.quiet {
                     &NoopObserver
                 } else {
                     &StderrProgress
                 };
-                sweep.run_observed(jobs, obs)
+                sweep.run_stored(jobs, obs, store.as_ref())
             };
             println!(
                 "{:<32} {:>14} {:>10} {:>10}",
@@ -458,6 +497,18 @@ fn main() {
                 result.jobs,
                 result.wall.as_secs_f64()
             );
+            if let Some(st) = &store {
+                // `invalidated` counts records that were present but
+                // unusable (corrupt, stale engine salt, digest mismatch)
+                // and therefore recomputed and overwritten.
+                println!(
+                    "store {}: cached {} / computed {} / invalidated {}",
+                    st.dir().display(),
+                    result.cached_cells(),
+                    result.computed_cells(),
+                    st.stats().invalidated
+                );
+            }
             if let Some(path) = &args.json {
                 std::fs::write(path, result.to_json()).expect("write --json file");
                 println!("wrote {path}");
@@ -518,8 +569,16 @@ fn main() {
         "bench-engine" => {
             // Engine throughput harness: the Fig. 6-style NetCache row
             // (all twelve apps, one arch, fixed node count); see
-            // `engine_grid` for the measurement discipline.
+            // `engine_grid` for the measurement discipline. A --store is
+            // never *read* here — cached results have no engine time to
+            // measure — but the freshly timed reports seed it below.
             let result = engine_grid(&args);
+            if let Some(st) = open_store(&args) {
+                let reports: Vec<&netcache::RunReport> =
+                    result.runs.iter().map(|r| &r.report).collect();
+                let n = st.seed(engine_sweep(&args).points(), &reports);
+                println!("seeded store {} ({n} cells)", st.dir().display());
+            }
             println!(
                 "{:<32} {:>12} {:>10} {:>14} {:>14} {:>8}",
                 "cell", "events", "wall ms", "events/sec", "ops/sec", "elided%"
