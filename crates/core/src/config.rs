@@ -80,6 +80,64 @@ pub enum ChannelAssoc {
     Direct,
 }
 
+/// Which interconnect fabric to build (ROADMAP item 3; the concrete
+/// implementations live in [`crate::topology`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopoKind {
+    /// The paper's fabric: one star coupler + one cache ring.
+    #[default]
+    Single,
+    /// C independent cache rings striped by block address, one star.
+    MultiRing,
+    /// Hierarchical: clusters of ≤16 nodes under a root star, one cache
+    /// ring per cluster.
+    StarOfRings,
+}
+
+impl TopoKind {
+    /// All fabrics, default first.
+    pub const ALL: [TopoKind; 3] = [TopoKind::Single, TopoKind::MultiRing, TopoKind::StarOfRings];
+
+    /// CLI/emission name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopoKind::Single => "single",
+            TopoKind::MultiRing => "multi-ring",
+            TopoKind::StarOfRings => "star-of-rings",
+        }
+    }
+
+    /// Parses a `--topology` value.
+    pub fn parse(s: &str) -> Option<TopoKind> {
+        TopoKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Fabric topology selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopoConfig {
+    /// Which fabric.
+    pub kind: TopoKind,
+    /// Cache-ring count C (multi-ring only; others keep 1).
+    pub rings: usize,
+}
+
+impl TopoConfig {
+    /// The paper's fabric (the default).
+    pub fn single() -> Self {
+        Self {
+            kind: TopoKind::Single,
+            rings: 1,
+        }
+    }
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
 /// Ring shared-cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RingConfig {
@@ -178,6 +236,8 @@ pub struct SysConfig {
     pub optics: OpticalParams,
     /// Ring shared cache (NetCache only; ignored by the baselines).
     pub ring: RingConfig,
+    /// Interconnect fabric topology.
+    pub topo: TopoConfig,
     /// RNG seed for the simulation's own choices.
     pub seed: u64,
 }
@@ -195,6 +255,7 @@ impl SysConfig {
             mem: MemoryCfg::base(),
             optics: OpticalParams::base(),
             ring: RingConfig::base(),
+            topo: TopoConfig::single(),
             seed: 0x5EED,
         }
     }
@@ -256,6 +317,19 @@ impl SysConfig {
         self
     }
 
+    /// Selects the fabric topology.
+    pub fn with_topology(mut self, kind: TopoKind) -> Self {
+        self.topo.kind = kind;
+        self
+    }
+
+    /// Sets the cache-ring count C (meaningful with
+    /// [`TopoKind::MultiRing`] only).
+    pub fn with_rings(mut self, c: usize) -> Self {
+        self.topo.rings = c;
+        self
+    }
+
     /// Validates internal consistency; called by the machine builder.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
@@ -277,6 +351,45 @@ impl SysConfig {
         }
         if self.l2.block_bytes != 64 {
             return Err("L2 blocks must be 64 B (the coherence unit)".into());
+        }
+        match self.topo.kind {
+            TopoKind::Single | TopoKind::StarOfRings => {
+                if self.topo.rings != 1 {
+                    return Err(format!(
+                        "topology {:?} has a fixed ring structure; rings must be 1 (got {})",
+                        self.topo.kind, self.topo.rings
+                    ));
+                }
+            }
+            TopoKind::MultiRing => {
+                if self.topo.rings == 0 {
+                    return Err("multi-ring needs at least one ring".into());
+                }
+                if self.ring.enabled() {
+                    if !self.ring.channels.is_multiple_of(self.topo.rings) {
+                        return Err(format!(
+                            "ring channels ({}) must split evenly across {} rings",
+                            self.ring.channels, self.topo.rings
+                        ));
+                    }
+                    if !(self.ring.channels / self.topo.rings).is_multiple_of(self.nodes) {
+                        return Err(format!(
+                            "per-ring channels ({}) must be a multiple of nodes ({})",
+                            self.ring.channels / self.topo.rings,
+                            self.nodes
+                        ));
+                    }
+                }
+            }
+        }
+        if self.topo.kind == TopoKind::StarOfRings
+            && self.nodes > 16
+            && !self.nodes.is_multiple_of(16)
+        {
+            return Err(format!(
+                "star-of-rings needs nodes ≤ 16 or a multiple of 16 (got {})",
+                self.nodes
+            ));
         }
         Ok(())
     }
@@ -330,6 +443,48 @@ mod tests {
         assert_eq!(Arch::ALL.len(), 4);
         assert_eq!(Arch::NetCache.name(), "NetCache");
         assert_eq!(Arch::DmonI.name(), "DMON-I");
+    }
+
+    #[test]
+    fn topology_validation_rules() {
+        // Default is the paper's fabric and always valid.
+        let c = SysConfig::base(Arch::NetCache);
+        assert_eq!(c.topo, TopoConfig::single());
+        // Multi-ring: ring count must be ≥1, divide channels, and leave a
+        // per-ring channel count that is a multiple of nodes.
+        let c = SysConfig::base(Arch::NetCache).with_topology(TopoKind::MultiRing);
+        assert!(c.with_rings(0).validate().is_err());
+        assert!(c.with_rings(2).validate().is_ok());
+        assert!(c.with_rings(4).validate().is_ok());
+        assert!(c.with_rings(3).validate().is_err(), "128 % 3 != 0");
+        assert!(
+            c.with_rings(16).validate().is_err(),
+            "8 channels/ring not a multiple of 16 nodes"
+        );
+        // A disabled ring ignores the striping rules.
+        let mut no_ring = SysConfig::netcache_no_ring().with_topology(TopoKind::MultiRing);
+        no_ring.topo.rings = 3;
+        assert!(no_ring.validate().is_ok());
+        // --rings is meaningless outside multi-ring.
+        assert!(SysConfig::base(Arch::NetCache)
+            .with_rings(2)
+            .validate()
+            .is_err());
+        let star = SysConfig::base(Arch::NetCache).with_topology(TopoKind::StarOfRings);
+        assert!(star.with_rings(2).validate().is_err());
+        // Star-of-rings cluster divisibility.
+        assert!(star.validate().is_ok(), "16 nodes = one cluster");
+        assert!(star.with_nodes(8).validate().is_ok());
+        assert!(star.with_nodes(64).validate().is_ok());
+        assert!(star.with_nodes(24).validate().is_err());
+    }
+
+    #[test]
+    fn topo_kind_names_round_trip() {
+        for k in TopoKind::ALL {
+            assert_eq!(TopoKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(TopoKind::parse("torus"), None);
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub mod runner;
 pub mod sharers;
 pub mod store;
 pub mod sweep;
+pub mod topology;
 
-pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
+pub use config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig, TopoConfig, TopoKind};
 pub use machine::{run_streams, run_workload, EngineScratch, Machine};
 pub use metrics::{NodeStats, RunReport};
 pub use pdes::{fabric_lookahead, run_streams_pdes, run_workload_pdes};
@@ -53,3 +54,4 @@ pub use ring::{RingCache, RingLookup, RingStats};
 pub use runner::{compare, compare_stored, run_app, speedup, speedup_stored};
 pub use store::{cell_key, point_key, Store, StoreStats};
 pub use sweep::{Sweep, SweepPoint, SweepResult, SweepRun, SweepSpec};
+pub use topology::{Fabric, LinkCounters, Topology};

@@ -561,7 +561,7 @@ impl<P: Protocol, Q: Sched<Event>> Machine<P, Q> {
             cycles,
             nodes: self.stats,
             proto: *self.proto.counters(),
-            ring: self.proto.ring_stats().copied(),
+            ring: self.proto.ring_stats(),
             // Elided drain-chain events count as if scheduled: the batched
             // engine must report the exact event total of the per-event
             // schedule it is equivalent to (digests hash this).
@@ -569,6 +569,7 @@ impl<P: Protocol, Q: Sched<Event>> Machine<P, Q> {
             ops: self.ops_done,
             elided_ops: self.elided,
             channels: self.proto.channel_report(),
+            links: self.proto.link_report(),
             memories,
             wall_ns,
         };

@@ -90,6 +90,13 @@ pub struct RunReport {
     pub elided_ops: u64,
     /// Per-channel diagnostics: `(name, served, busy, mean wait)`.
     pub channels: Vec<(String, u64, u64, f64)>,
+    /// Per-fabric-link diagnostics: `(name, frames, busy cycles)` in the
+    /// topology's link order (legs, rings, roots — see
+    /// [`crate::topology`]). Deterministic (part of `PartialEq`) but
+    /// excluded from [`RunReport::digest`]: the link ledger is new
+    /// bookkeeping layered onto the model, and hashing it would
+    /// invalidate every golden constant pinned before it existed.
+    pub links: Vec<(String, u64, u64)>,
     /// Per-memory-module `(reads, busy cycles, mean queue wait)`.
     pub memories: Vec<(u64, u64, f64)>,
     /// Wall-clock nanoseconds spent inside the event loop — the engine
@@ -110,6 +117,7 @@ impl PartialEq for RunReport {
             && self.ops == other.ops
             && self.elided_ops == other.elided_ops
             && self.channels == other.channels
+            && self.links == other.links
             && self.memories == other.memories
     }
 }
@@ -335,6 +343,7 @@ mod tests {
             ops: 0,
             elided_ops: 0,
             channels: Vec::new(),
+            links: Vec::new(),
             memories: Vec::new(),
             wall_ns: 0,
         }
@@ -398,6 +407,19 @@ mod tests {
         assert_eq!(a, b, "wall time is host-dependent, not part of identity");
         assert_eq!(a.digest(), b.digest());
         assert!(a.events_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn links_are_compared_but_not_digested() {
+        let a = report_with(vec![NodeStats::default()], 10);
+        let mut b = a.clone();
+        b.links = vec![("leg0".into(), 7, 7)];
+        assert_ne!(a, b, "link ledger is deterministic state");
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "but pre-existing golden digests must not see it"
+        );
     }
 
     #[test]

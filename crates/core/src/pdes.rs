@@ -39,11 +39,19 @@ use netcache_apps::{OpStream, Workload};
 
 /// The fabric's guaranteed minimum cross-partition event latency, in
 /// cycles: a synchronization wake scheduled by node A for node B lies at
-/// least one channel transfer plus the optical flight time after the
-/// event that issued it (and observed slack is far larger — the full
-/// broadcast completion; see module docs).
+/// least one channel transfer plus the fabric's cheapest cross-node hop
+/// after the event that issued it (and observed slack is far larger —
+/// the full broadcast completion; see module docs).
+///
+/// The hop floor comes from the configured topology
+/// ([`Topology::min_hop_latency`]): partitions are contiguous node
+/// blocks, so two nodes of the *same cluster* can sit in different
+/// partitions and the intra-cluster hop is the binding bound — for every
+/// in-tree fabric that is `optics.flight`, which keeps the fence (and
+/// the partitioned schedule) identical to the pre-trait engine.
 pub fn fabric_lookahead(cfg: &SysConfig) -> Time {
-    cfg.optics.flight + 1
+    use crate::topology::{Fabric, Topology};
+    Fabric::new(cfg).min_hop_latency() + 1
 }
 
 /// [`crate::machine::run_streams`] on the partitioned engine: protocol

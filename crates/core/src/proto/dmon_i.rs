@@ -29,6 +29,7 @@ use super::dmon_u::DmonChannels;
 use super::{ElisionPolicy, Node, ProtoCounters, Protocol, ReadKind, ReadResult};
 use crate::config::{Arch, SysConfig};
 use crate::latency::consts;
+use crate::topology::Topology;
 
 /// Slot sentinel for [`DirMap`]: no real block is `u64::MAX`.
 const DIR_EMPTY: BlockAddr = BlockAddr::MAX;
@@ -170,7 +171,8 @@ impl DmonI {
         let granted = self.ch.reserve(node, ready);
         let xfer = self.ch.optics.transfer_bits(consts::INVALIDATE_BITS);
         let sent = self.ch.bcast[0].acquire(granted, xfer) + xfer;
-        let seen = sent + self.ch.optics.flight;
+        let seen = sent + self.ch.fabric.broadcast_latency(node);
+        self.ch.links.broadcast(&self.ch.fabric, node);
         // All other caches snoop and invalidate their copies. The previous
         // owner's dirty data is superseded by this write — dropped, never
         // written back (the writer produces the new value).
@@ -191,7 +193,8 @@ impl DmonI {
         // write completes the transaction.
         let granted2 = self.ch.reserve(home, dir_done.max(seen));
         let ack = self.ch.homes[node].acquire(granted2, self.ch.slot) + self.ch.slot;
-        ack + self.ch.optics.flight + consts::DMONI_LOCAL_WRITE
+        self.ch.links.frame(&self.ch.fabric, home, node);
+        ack + self.ch.fabric.hop_latency(home, node) + consts::DMONI_LOCAL_WRITE
     }
 
     /// Cache-to-cache forwarded read (requester → home → owner →
@@ -210,12 +213,14 @@ impl DmonI {
         let tuned = granted + self.ch.optics.tuning_delay;
         let req =
             self.ch.homes[home].acquire(tuned, self.ch.request_transfer) + self.ch.request_transfer;
-        let at_home = req + self.ch.optics.flight;
+        let at_home = req + self.ch.fabric.hop_latency(node, home);
+        self.ch.links.frame(&self.ch.fabric, node, home);
         // Directory lookup, then forward the request to the owner.
         let granted2 = self.ch.reserve(home, at_home + consts::L2_TAG);
         let fwd = self.ch.homes[owner].acquire(granted2, self.ch.request_transfer)
             + self.ch.request_transfer;
-        let at_owner = fwd + self.ch.optics.flight;
+        let at_owner = fwd + self.ch.fabric.hop_latency(home, owner);
+        self.ch.links.frame(&self.ch.fabric, home, owner);
         // Owner pulls the block from its L2 to the NI and replies on the
         // requester's home channel; the copy it forwards is clean and the
         // owner's state drops from exclusive to shared (it stays owner).
@@ -224,7 +229,8 @@ impl DmonI {
         let reply = self.ch.homes[node].acquire(granted3, self.ch.block_transfer_hdr)
             + self.ch.block_transfer_hdr;
         let _ = &nodes[owner]; // owner cache state unchanged (still owner)
-        reply + self.ch.optics.flight + consts::NI_TO_L2
+        self.ch.links.frame(&self.ch.fabric, owner, node);
+        reply + self.ch.fabric.hop_latency(owner, node) + consts::NI_TO_L2
     }
 }
 
@@ -307,7 +313,8 @@ impl Protocol for DmonI {
         self.counters.sync_msgs += 1;
         let granted = self.ch.reserve(node, t + consts::CMD_TO_NI);
         let sent = self.ch.bcast[0].acquire(granted, 2) + 2;
-        sent + self.ch.optics.flight
+        self.ch.links.broadcast(&self.ch.fabric, node);
+        sent + self.ch.fabric.broadcast_latency(node)
     }
 
     fn evicted_l2(&mut self, nodes: &mut [Node], node: usize, block: u64, dirty: bool, t: Time) {
@@ -322,11 +329,18 @@ impl Protocol for DmonI {
         let granted = self.ch.reserve(node, t + consts::L2_TO_NI);
         let sent = self.ch.homes[home].acquire(granted, self.ch.block_transfer_hdr)
             + self.ch.block_transfer_hdr;
-        nodes[home].mem.writeback(sent + self.ch.optics.flight);
+        self.ch.links.frame(&self.ch.fabric, node, home);
+        nodes[home]
+            .mem
+            .writeback(sent + self.ch.fabric.hop_latency(node, home));
     }
 
     fn counters(&self) -> &ProtoCounters {
         &self.counters
+    }
+
+    fn link_report(&self) -> Vec<(String, u64, u64)> {
+        self.ch.links.report(&self.ch.fabric)
     }
 }
 

@@ -22,6 +22,7 @@ use super::{
 };
 use crate::config::{Arch, SysConfig};
 use crate::latency::consts;
+use crate::topology::{Fabric, LinkCounters, Topology};
 
 /// DMON channel set shared by both DMON protocols.
 pub(crate) struct DmonChannels {
@@ -32,6 +33,8 @@ pub(crate) struct DmonChannels {
     /// Broadcast (coherence) channels.
     pub bcast: Vec<FifoServer>,
     pub optics: OpticalParams,
+    pub fabric: Fabric,
+    pub links: LinkCounters,
     pub block_transfer_hdr: u64,
     pub request_transfer: u64,
     pub slot: u64,
@@ -40,11 +43,14 @@ pub(crate) struct DmonChannels {
 impl DmonChannels {
     pub fn new(cfg: &SysConfig, bcast_channels: usize) -> Self {
         let slot = crate::latency::slot_width(&cfg.optics);
+        let fabric = Fabric::new(cfg);
         Self {
             control: SlottedServer::new(cfg.nodes, slot),
             homes: (0..cfg.nodes).map(|_| FifoServer::new()).collect(),
             bcast: (0..bcast_channels).map(|_| FifoServer::new()).collect(),
             optics: cfg.optics,
+            links: LinkCounters::new(&fabric),
+            fabric,
             block_transfer_hdr: cfg
                 .optics
                 .transfer(cfg.l2.block_bytes, consts::DMON_BLOCK_HEADER_BITS),
@@ -65,12 +71,14 @@ impl DmonChannels {
         let granted = self.reserve(node, t);
         let tuned = granted + self.optics.tuning_delay;
         let req = self.homes[home].acquire(tuned, self.request_transfer) + self.request_transfer;
-        let at_home = req + self.optics.flight;
+        let at_home = req + self.fabric.hop_latency(node, home);
+        self.links.frame(&self.fabric, node, home);
         let data = nodes[home].mem.read_block(at_home);
         let granted2 = self.reserve(home, data);
         let reply =
             self.homes[node].acquire(granted2, self.block_transfer_hdr) + self.block_transfer_hdr;
-        reply + self.optics.flight + consts::NI_TO_L2
+        self.links.frame(&self.fabric, home, node);
+        reply + self.fabric.hop_latency(home, node) + consts::NI_TO_L2
     }
 }
 
@@ -132,20 +140,23 @@ impl Protocol for DmonU {
         let bits = entry.words() as u64 * 32 + consts::UPDATE_HEADER_BITS;
         let xfer = self.ch.optics.transfer_bits(bits);
         let sent = self.ch.bcast[node % 2].acquire(granted, xfer) + xfer;
-        let seen = sent + self.ch.optics.flight;
+        let seen = sent + self.ch.fabric.broadcast_latency(node);
+        self.ch.links.broadcast(&self.ch.fabric, node);
         apply_update_to_peers(nodes, node, entry.addr, &mut self.counters, sharers);
         let (_applied, ack_ready) = nodes[home].mem.apply_update(seen, entry.words());
         // Ack: reservation, then a one-cycle message on the home channel.
         let granted2 = self.ch.reserve(home, ack_ready);
         let ack = self.ch.homes[node].acquire(granted2, self.ch.slot) + self.ch.slot;
-        ack + self.ch.optics.flight
+        self.ch.links.frame(&self.ch.fabric, home, node);
+        ack + self.ch.fabric.hop_latency(home, node)
     }
 
     fn sync_broadcast(&mut self, node: usize, t: Time) -> Time {
         self.counters.sync_msgs += 1;
         let granted = self.ch.reserve(node, t + consts::CMD_TO_NI);
         let sent = self.ch.bcast[node % 2].acquire(granted, 2) + 2;
-        sent + self.ch.optics.flight
+        self.ch.links.broadcast(&self.ch.fabric, node);
+        sent + self.ch.fabric.broadcast_latency(node)
     }
 
     fn evicted_l2(
@@ -161,6 +172,10 @@ impl Protocol for DmonU {
 
     fn counters(&self) -> &ProtoCounters {
         &self.counters
+    }
+
+    fn link_report(&self) -> Vec<(String, u64, u64)> {
+        self.ch.links.report(&self.ch.fabric)
     }
 }
 

@@ -168,7 +168,9 @@ pub trait Protocol {
     fn evicted_l2(&mut self, nodes: &mut [Node], node: usize, block: u64, dirty: bool, t: Time);
 
     /// Ring shared-cache statistics, if this architecture has one.
-    fn ring_stats(&self) -> Option<&RingStats> {
+    /// Returned by value: fabrics with several cache rings aggregate
+    /// their per-ring counters into one [`RingStats`].
+    fn ring_stats(&self) -> Option<RingStats> {
         None
     }
 
@@ -178,6 +180,13 @@ pub trait Protocol {
     /// Per-channel diagnostics: `(name, messages served, busy cycles,
     /// mean wait)`. Used by utilization reports and tuning probes.
     fn channel_report(&self) -> Vec<(String, u64, u64, f64)> {
+        Vec::new()
+    }
+
+    /// Per-link fabric diagnostics: `(name, frames, busy cycles)` in the
+    /// topology's link order (see [`crate::topology`]). Digest-excluded
+    /// bookkeeping — the sweep's contention columns are built from it.
+    fn link_report(&self) -> Vec<(String, u64, u64)> {
         Vec::new()
     }
 }
@@ -214,7 +223,7 @@ impl Protocol for Box<dyn Protocol> {
     fn evicted_l2(&mut self, nodes: &mut [Node], node: usize, block: u64, dirty: bool, t: Time) {
         (**self).evicted_l2(nodes, node, block, dirty, t)
     }
-    fn ring_stats(&self) -> Option<&RingStats> {
+    fn ring_stats(&self) -> Option<RingStats> {
         (**self).ring_stats()
     }
     fn counters(&self) -> &ProtoCounters {
@@ -222,6 +231,9 @@ impl Protocol for Box<dyn Protocol> {
     }
     fn channel_report(&self) -> Vec<(String, u64, u64, f64)> {
         (**self).channel_report()
+    }
+    fn link_report(&self) -> Vec<(String, u64, u64)> {
+        (**self).link_report()
     }
 }
 

@@ -28,15 +28,20 @@ use super::{
 use crate::config::{Arch, SysConfig};
 use crate::latency::consts;
 use crate::ring::{RingCache, RingLookup, RingStats};
+use crate::topology::{Fabric, LinkCounters, Topology};
 
 /// The NetCache interconnect + protocol state.
 pub struct NetCacheProto {
     map: AddressMap,
     optics: OpticalParams,
+    fabric: Fabric,
+    links: LinkCounters,
     request: SlottedServer,
     coherence: [SlottedServer; 2],
+    /// Cache rings, one per [`Fabric`] ring (a single element on the
+    /// paper's fabric).
+    rings: Vec<RingCache>,
     homes: Vec<FifoServer>,
-    ring: RingCache,
     block_transfer: u64,
     slot: u64,
     /// Coherence blocks per shared-cache line (>1 in the §5.3.2 study).
@@ -47,20 +52,26 @@ pub struct NetCacheProto {
 }
 
 impl NetCacheProto {
-    /// Builds the channels and (possibly disabled) ring.
+    /// Builds the channels and (possibly disabled) ring(s).
     pub fn new(cfg: &SysConfig, map: AddressMap) -> Self {
         let p = cfg.nodes;
         let slot = crate::latency::slot_width(&cfg.optics);
+        let fabric = Fabric::new(cfg);
+        let rings = (0..fabric.rings())
+            .map(|_| RingCache::new(fabric.ring_cfg(cfg.ring), fabric.ring_nodes()))
+            .collect();
         Self {
             map,
             optics: cfg.optics,
+            links: LinkCounters::new(&fabric),
+            fabric,
             request: SlottedServer::new(p, slot),
             coherence: [
                 SlottedServer::new(p.div_ceil(2), 2 * slot),
                 SlottedServer::new((p / 2).max(1), 2 * slot),
             ],
+            rings,
             homes: (0..p).map(|_| FifoServer::new()).collect(),
-            ring: RingCache::new(cfg.ring, p),
             block_transfer: cfg.optics.transfer(cfg.l2.block_bytes, 0),
             slot,
             line_blocks: (cfg.ring.block_bytes / cfg.l2.block_bytes).max(1),
@@ -74,12 +85,14 @@ impl NetCacheProto {
     fn star_read(&mut self, nodes: &mut [Node], node: usize, home: usize, t: Time) -> Time {
         // Request channel slot, transfer, flight.
         let sent = self.request.acquire(node, t, self.slot) + self.slot;
-        let at_home = sent + self.optics.flight;
+        let at_home = sent + self.fabric.hop_latency(node, home);
+        self.links.frame(&self.fabric, node, home);
         // Home memory read.
         let data = nodes[home].mem.read_block(at_home);
         // Reply on the home's home channel.
         let reply = self.homes[home].acquire(data, self.block_transfer) + self.block_transfer;
-        reply + self.optics.flight + consts::NI_TO_L2
+        self.links.frame(&self.fabric, home, node);
+        reply + self.fabric.hop_latency(home, node) + consts::NI_TO_L2
     }
 
     /// The coherence channel a node transmits on (fixed by node parity).
@@ -111,9 +124,19 @@ impl Protocol for NetCacheProto {
     fn read_remote(&mut self, nodes: &mut [Node], node: usize, addr: Addr, t: Time) -> ReadResult {
         let block = self.map.block_of(addr);
         let home = self.map.home_of(addr);
+        let r = self.fabric.ring_of(block, home);
+        // Hierarchical fabrics cache a block only in its home cluster: a
+        // cross-cluster read cannot probe the remote ring and goes
+        // straight to the star path (no ring lookup, no miss counted).
+        let probe = if self.fabric.probes_ring(node, home) {
+            self.links.ring_frame(&self.fabric, r);
+            self.rings[r].lookup(block, self.fabric.ring_tap(node), t)
+        } else {
+            RingLookup::Miss
+        };
         // The protocol starts the read on BOTH subnetworks (§3.4), so a
         // shared-cache miss costs no more than a direct remote access.
-        match self.ring.lookup(block, node, t) {
+        match probe {
             RingLookup::Hit { ready } => ReadResult {
                 done: ready + consts::NI_TO_L2,
                 kind: ReadKind::SharedHit,
@@ -130,29 +153,34 @@ impl Protocol for NetCacheProto {
                 // With dual-path reads (§3.4) the star request leaves at
                 // the same instant as the ring probe; the ablated design
                 // must first watch the block's would-be frame slot pass by
-                // (half a roundtrip on average) to learn it missed.
-                let start = if self.dual_path {
+                // (half a roundtrip on average) to learn it missed. A
+                // cross-cluster read never probed, so it starts at once.
+                let start = if self.dual_path || !self.fabric.probes_ring(node, home) {
                     t
                 } else {
                     let slot = optics::RingSlot {
-                        channel: self.ring.geometry().channel_of_block(block),
+                        channel: self.rings[r].geometry().channel_of_block(block),
                         frame: 0,
                     };
-                    self.ring.geometry().frame_ready_at(slot, node, t)
+                    self.rings[r]
+                        .geometry()
+                        .frame_ready_at(slot, self.fabric.ring_tap(node), t)
                 };
                 let done = self.star_read(nodes, node, home, start);
                 // In addition to the home-channel reply, the home places
-                // the block on its cache channel for future readers. A
-                // shared-cache line wider than the coherence block
-                // (§5.3.2) costs the home extra memory fetches for the
-                // buddy blocks before the full line can circulate.
-                if self.ring.capacity() > 0 {
+                // the block on its cache channel (its own cluster's ring)
+                // for future readers. A shared-cache line wider than the
+                // coherence block (§5.3.2) costs the home extra memory
+                // fetches for the buddy blocks before the full line can
+                // circulate.
+                if self.rings[r].capacity() > 0 {
                     let mut insert_at = done - consts::NI_TO_L2;
                     for _ in 1..self.line_blocks {
                         let buddy = nodes[home].mem.read_block(insert_at);
                         insert_at = insert_at.max(buddy);
                     }
-                    self.ring.insert(block, home, insert_at);
+                    self.links.ring_frame(&self.fabric, r);
+                    self.rings[r].insert(block, self.fabric.ring_tap(home), insert_at);
                 }
                 ReadResult {
                     done,
@@ -179,15 +207,21 @@ impl Protocol for NetCacheProto {
         let xfer = self.optics.transfer_bits(bits);
         let (ch, slot_owner) = self.coherence_of(node);
         let sent = self.coherence[ch].acquire(slot_owner, ready, xfer) + xfer;
-        let seen = sent + self.optics.flight;
+        let seen = sent + self.fabric.broadcast_latency(node);
+        self.links.broadcast(&self.fabric, node);
         // All sharers refresh L2 copies / invalidate L1 copies.
         apply_update_to_peers(nodes, node, entry.addr, &mut self.counters, sharers);
-        // Home: memory FIFO queue (hysteresis ack) + circulating copy.
+        // Home: memory FIFO queue (hysteresis ack) + circulating copy
+        // (on the home cluster's ring).
         let (_applied, ack_ready) = nodes[home].mem.apply_update(seen, entry.words());
-        self.ring.apply_update(self.map.block_of(entry.addr), seen);
+        let block = self.map.block_of(entry.addr);
+        let r = self.fabric.ring_of(block, home);
+        self.links.ring_frame(&self.fabric, r);
+        self.rings[r].apply_update(block, seen);
         // Ack back through the request channel.
         let ack_sent = self.request.acquire(home, ack_ready, self.slot) + self.slot;
-        ack_sent + self.optics.flight
+        self.links.frame(&self.fabric, home, node);
+        ack_sent + self.fabric.hop_latency(home, node)
     }
 
     fn sync_broadcast(&mut self, node: usize, t: Time) -> Time {
@@ -195,7 +229,8 @@ impl Protocol for NetCacheProto {
         let (ch, slot_owner) = self.coherence_of(node);
         let ready = t + consts::CMD_TO_NI;
         let sent = self.coherence[ch].acquire(slot_owner, ready, 2) + 2;
-        sent + self.optics.flight
+        self.links.broadcast(&self.fabric, node);
+        sent + self.fabric.broadcast_latency(node)
     }
 
     fn evicted_l2(
@@ -209,12 +244,20 @@ impl Protocol for NetCacheProto {
         // Update protocol: memory is always current; evictions are silent.
     }
 
-    fn ring_stats(&self) -> Option<&RingStats> {
-        Some(self.ring.stats())
+    fn ring_stats(&self) -> Option<RingStats> {
+        let mut agg = RingStats::default();
+        for r in &self.rings {
+            agg.absorb(r.stats());
+        }
+        Some(agg)
     }
 
     fn counters(&self) -> &ProtoCounters {
         &self.counters
+    }
+
+    fn link_report(&self) -> Vec<(String, u64, u64)> {
+        self.links.report(&self.fabric)
     }
 
     fn channel_report(&self) -> Vec<(String, u64, u64, f64)> {

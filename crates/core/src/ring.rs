@@ -104,6 +104,19 @@ impl RingStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Field-wise accumulation: fabrics with several cache rings publish
+    /// one aggregate over their per-ring stats.
+    pub fn absorb(&mut self, other: &RingStats) {
+        self.hits += other.hits;
+        self.coalesced += other.coalesced;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+        self.replacements += other.replacements;
+        self.updates_applied += other.updates_applied;
+        self.window_delays += other.window_delays;
+        self.orphans_dropped += other.orphans_dropped;
+    }
 }
 
 /// The shared cache contents + policies.

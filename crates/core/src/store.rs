@@ -76,7 +76,10 @@ use crate::sweep::SweepPoint;
 /// every record. **Bump this whenever a change could alter reports**
 /// (any edit that would regenerate the golden digests); stale-salt
 /// records are treated as invalidated misses and recomputed.
-pub const ENGINE_SALT: u64 = 1;
+///
+/// History: 1 → 2 with the topology refactor (records gained the
+/// per-link `links` section and keys gained the topology axes).
+pub const ENGINE_SALT: u64 = 2;
 
 /// On-disk record layout version (the `"netcache_store"` field). Bump
 /// on incompatible layout changes; old-version records are misses.
@@ -307,6 +310,8 @@ pub fn cell_key(cfg: &SysConfig, wl: &Workload) -> u64 {
     h.put(cfg.ring.block_bytes);
     h.put(cfg.ring.dual_path_reads as u64);
     h.put(cfg.ring.race_window as u64);
+    h.put_str(cfg.topo.kind.name());
+    h.put(cfg.topo.rings as u64);
     h.put(cfg.seed);
     h.put_str(wl.app.name());
     h.put(wl.procs as u64);
@@ -497,6 +502,14 @@ fn encode_record(key: u64, label: &str, wl: &Workload, report: &RunReport) -> St
             }
         ));
     }
+    out.push_str("  ],\n  \"links\": [\n");
+    for (i, (name, frames, busy)) in report.links.iter().enumerate() {
+        out.push_str(&format!(
+            "    [\"{}\", {frames}, {busy}]{}\n",
+            json::escape(name),
+            if i + 1 < report.links.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ],\n  \"memories\": [\n");
     for (i, (reads, busy, wait)) in report.memories.iter().enumerate() {
         out.push_str(&format!(
@@ -613,6 +626,23 @@ fn decode_record(text: &str, want_key: u64) -> Result<RunReport, Miss> {
             ))
         })
         .collect::<Result<Vec<_>, Miss>>()?;
+    let links = doc
+        .get("links")
+        .and_then(Value::as_arr)
+        .ok_or(Miss::Corrupt)?
+        .iter()
+        .map(|row| {
+            let items = row.as_arr().ok_or(Miss::Corrupt)?;
+            let [name, frames, busy] = items else {
+                return Err(Miss::Corrupt);
+            };
+            Ok((
+                name.as_str().ok_or(Miss::Corrupt)?.to_string(),
+                frames.as_u64().ok_or(Miss::Corrupt)?,
+                busy.as_u64().ok_or(Miss::Corrupt)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, Miss>>()?;
     let memories = doc
         .get("memories")
         .and_then(Value::as_arr)
@@ -633,6 +663,7 @@ fn decode_record(text: &str, want_key: u64) -> Result<RunReport, Miss> {
         ops: req_u64(&doc, "ops")?,
         elided_ops: req_u64(&doc, "elided_ops")?,
         channels,
+        links,
         memories,
         wall_ns: req_u64(&doc, "wall_ns")?,
     };
@@ -808,6 +839,16 @@ mod tests {
             k0,
             cell_key(&other_seed, &wl(AppId::Sor, 4, 0.02)),
             "sim seed"
+        );
+        // Topology axes: kind and ring count both enter the key, so a
+        // multi-ring or clustered run never aliases a single-ring cell.
+        let multi = base.with_topology(crate::config::TopoKind::MultiRing);
+        assert_ne!(k0, cell_key(&multi, &wl(AppId::Sor, 4, 0.02)), "topo kind");
+        let striped = multi.with_rings(2);
+        assert_ne!(
+            cell_key(&multi, &wl(AppId::Sor, 4, 0.02)),
+            cell_key(&striped, &wl(AppId::Sor, 4, 0.02)),
+            "ring count"
         );
     }
 

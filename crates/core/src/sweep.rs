@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use netcache_apps::{AppId, Workload};
 
-use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig};
+use crate::config::{Arch, ChannelAssoc, Replacement, RingConfig, SysConfig, TopoKind};
 use crate::json;
 use crate::machine::{run_workload, EngineScratch};
 use crate::metrics::RunReport;
@@ -74,6 +74,14 @@ impl SweepPoint {
             } else if cfg.ring.capacity_bytes() != RingConfig::base().capacity_bytes() {
                 label.push_str(&format!("/ring{}k", cfg.ring.capacity_bytes() / 1024));
             }
+        }
+        // Non-default fabrics get a label suffix; the default single
+        // ring stays suffix-free so existing labels (and the store
+        // guard's grep patterns) are untouched.
+        match cfg.topo.kind {
+            TopoKind::Single => {}
+            TopoKind::MultiRing => label.push_str(&format!("/mr{}", cfg.topo.rings)),
+            TopoKind::StarOfRings => label.push_str("/sor"),
         }
         Self {
             label,
@@ -117,7 +125,8 @@ impl SweepPoint {
 /// Axes default to a single value (the paper's base machine: NetCache,
 /// 16 nodes, scale 0.1) so a spec only names what it varies. Points are
 /// generated in a fixed nested order — arch outermost, then app, nodes,
-/// scale, ring override, L2 override — and [`SweepResult`] preserves it.
+/// scale, ring override, L2 override, topology innermost — and
+/// [`SweepResult`] preserves it.
 ///
 /// ```
 /// use netcache_core::sweep::SweepSpec;
@@ -149,6 +158,9 @@ pub struct SweepSpec {
     mem_latency: Option<u64>,
     /// Per-app scale policy; overrides the `scales` axis when set.
     scale_for: Option<fn(AppId) -> f64>,
+    /// Topology axis: `(kind, rings)` pairs (`rings` is meaningful for
+    /// multi-ring only and must be 1 otherwise).
+    topos: Vec<(TopoKind, usize)>,
     /// Partition count for the PDES engine (0/1 = serial), applied to
     /// every cell.
     pdes: usize,
@@ -175,8 +187,17 @@ impl SweepSpec {
             assoc: None,
             mem_latency: None,
             scale_for: None,
+            topos: vec![(TopoKind::Single, 1)],
             pdes: 0,
         }
+    }
+
+    /// Topology axis: `(kind, rings)` pairs. Innermost in the nest, so
+    /// a spec that does not vary it (the default single ring) generates
+    /// exactly the pre-topology point order and labels.
+    pub fn topologies(mut self, topos: impl IntoIterator<Item = (TopoKind, usize)>) -> Self {
+        self.topos = topos.into_iter().collect();
+        self
     }
 
     /// Runs every cell on the partitioned (conservative-PDES) engine
@@ -289,28 +310,33 @@ impl SweepSpec {
                     for &scale in &scales {
                         for &ring in ring_axis {
                             for &l2 in &self.l2_kb {
-                                let mut cfg = SysConfig::base(arch).with_nodes(nodes);
-                                if let Some(kb) = ring {
-                                    cfg = cfg.with_ring_kb(kb);
+                                for &(kind, rings) in &self.topos {
+                                    let mut cfg = SysConfig::base(arch).with_nodes(nodes);
+                                    if let Some(kb) = ring {
+                                        cfg = cfg.with_ring_kb(kb);
+                                    }
+                                    if let Some(kb) = l2 {
+                                        cfg = cfg.with_l2_kb(kb);
+                                    }
+                                    if let Some(r) = self.replacement {
+                                        cfg = cfg.with_replacement(r);
+                                    }
+                                    if let Some(a) = self.assoc {
+                                        cfg = cfg.with_assoc(a);
+                                    }
+                                    if let Some(lat) = self.mem_latency {
+                                        cfg = cfg.with_mem_latency(lat);
+                                    }
+                                    cfg = cfg.with_topology(kind).with_rings(rings);
+                                    cfg.validate().expect("sweep produced invalid config");
+                                    let scale = match self.scale_for {
+                                        Some(f) => f(app),
+                                        None => scale,
+                                    };
+                                    points.push(
+                                        SweepPoint::new(cfg, app, scale).with_pdes(self.pdes),
+                                    );
                                 }
-                                if let Some(kb) = l2 {
-                                    cfg = cfg.with_l2_kb(kb);
-                                }
-                                if let Some(r) = self.replacement {
-                                    cfg = cfg.with_replacement(r);
-                                }
-                                if let Some(a) = self.assoc {
-                                    cfg = cfg.with_assoc(a);
-                                }
-                                if let Some(lat) = self.mem_latency {
-                                    cfg = cfg.with_mem_latency(lat);
-                                }
-                                cfg.validate().expect("sweep produced invalid config");
-                                let scale = match self.scale_for {
-                                    Some(f) => f(app),
-                                    None => scale,
-                                };
-                                points.push(SweepPoint::new(cfg, app, scale).with_pdes(self.pdes));
                             }
                         }
                     }
@@ -536,15 +562,26 @@ impl SweepResult {
         // Engine-health diagnostics (ops_per_sec, elided_ops,
         // orphans_dropped) ride as trailing columns so consumers slicing
         // the original prefix (`cut -f1-14` etc.) keep working.
+        // CSV is column-stable, so the per-link breakdown (whose length
+        // varies per topology) is summarized: total injected frames plus
+        // the hottest link's name/frames/busy. The full per-link vector
+        // is in the JSON emission.
         let mut out = String::from(
             "label,arch,app,nodes,scale,cycles,events,reads,l1_hit_rate,l2_hit_rate,\
              shared_hit_rate,read_stall_frac,sync_frac,avg_shared_read_latency,wall_ms,\
-             events_per_sec,ops_per_sec,elided_ops,orphans_dropped\n",
+             events_per_sec,ops_per_sec,elided_ops,orphans_dropped,\
+             link_frames,hot_link,hot_link_frames,hot_link_busy\n",
         );
         for r in &self.runs {
             let rep = &r.report;
+            let link_frames: u64 = rep.links.iter().map(|(_, f, _)| f).sum();
+            let hot = rep.links.iter().max_by_key(|(_, f, _)| *f);
+            let (hot_name, hot_frames, hot_busy) = match hot {
+                Some((n, f, b)) => (n.as_str(), *f, *b),
+                None => ("", 0, 0),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.0},{:.0},{},{}\n",
+                "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{:.3},{:.0},{:.0},{},{},{},{},{},{}\n",
                 r.label,
                 r.arch,
                 r.app.name(),
@@ -564,6 +601,10 @@ impl SweepResult {
                 rep.ops_per_sec(),
                 rep.elided_ops,
                 rep.ring.map(|g| g.orphans_dropped).unwrap_or(0),
+                link_frames,
+                hot_name,
+                hot_frames,
+                hot_busy,
             ));
         }
         out
@@ -578,6 +619,15 @@ impl SweepResult {
         for (i, r) in self.runs.iter().enumerate() {
             let rep = &r.report;
             let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            // Per-link contention: the full vector (CSV only carries the
+            // aggregate), as `[name, frames, busy]` triples in the
+            // topology's deterministic link order.
+            let links = rep
+                .links
+                .iter()
+                .map(|(n, f, b)| format!("[\"{}\", {f}, {b}]", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "    {{\"label\": \"{}\", \"arch\": \"{}\", \"app\": \"{}\", \
                  \"nodes\": {}, \"scale\": {}, \"cycles\": {}, \"events\": {}, \
@@ -586,7 +636,7 @@ impl SweepResult {
                  \"sync_frac\": {:.6}, \"avg_shared_read_latency\": {:.3}, \
                  \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \
                  \"ops_per_sec\": {:.0}, \"elided_ops\": {}, \
-                 \"orphans_dropped\": {}}}{comma}\n",
+                 \"orphans_dropped\": {}, \"links\": [{links}]}}{comma}\n",
                 json_escape(&r.label),
                 json_escape(r.arch),
                 json_escape(r.app.name()),
@@ -1002,11 +1052,10 @@ mod tests {
         assert!(csv.starts_with("label,arch,app,"));
         // Engine diagnostics ride as TRAILING columns so consumers
         // slicing the stable prefix (cut -f1-14) stay valid.
-        assert!(csv
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with("wall_ms,events_per_sec,ops_per_sec,elided_ops,orphans_dropped"));
+        assert!(csv.lines().next().unwrap().ends_with(
+            "wall_ms,events_per_sec,ops_per_sec,elided_ops,orphans_dropped,\
+             link_frames,hot_link,hot_link_frames,hot_link_busy"
+        ));
         let json = res.to_json();
         assert!(json.contains("\"app\": \"fft\""));
         assert!(json.contains("\"jobs\": 1"));
@@ -1014,6 +1063,50 @@ mod tests {
         assert!(json.contains("\"ops_per_sec\": "));
         assert!(json.contains("\"elided_ops\": "));
         assert!(json.contains("\"orphans_dropped\": 0"));
+        // Per-link contention rides in JSON as [name, frames, busy]
+        // triples; the default fabric names its links leg*/ring*.
+        assert!(json.contains("\"links\": [[\"leg0\", "));
+        assert!(json.contains("[\"ring0\", "));
+    }
+
+    #[test]
+    fn topology_axis_is_innermost_and_suffixes_labels() {
+        let sweep = SweepSpec::new()
+            .apps([AppId::Sor])
+            .nodes([4])
+            .scale(0.01)
+            .topologies([
+                (TopoKind::Single, 1),
+                (TopoKind::MultiRing, 2),
+                (TopoKind::StarOfRings, 1),
+            ])
+            .build();
+        let labels: Vec<&str> = sweep.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "netcache/sor/p4/s0.01",
+                "netcache/sor/p4/s0.01/mr2",
+                "netcache/sor/p4/s0.01/sor",
+            ]
+        );
+    }
+
+    #[test]
+    fn default_topology_axis_leaves_grids_untouched() {
+        // A spec that does not vary the topology generates exactly the
+        // pre-topology point list: same count, same labels, default kind.
+        let sweep = SweepSpec::new()
+            .archs([Arch::NetCache, Arch::DmonI])
+            .apps([AppId::Fft])
+            .nodes([2, 4])
+            .scale(0.01)
+            .build();
+        assert_eq!(sweep.points().len(), 4);
+        for p in sweep.points() {
+            assert_eq!(p.cfg.topo.kind, TopoKind::Single);
+            assert!(!p.label.contains("/mr") && !p.label.ends_with("/sor"));
+        }
     }
 
     #[test]

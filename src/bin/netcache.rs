@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! netcache run <app> [--arch A] [--scale S] [--procs P] [--ring-kb K]
+//!                    [--topology T] [--rings C]
 //! netcache compare <app> [--scale S] [--procs P] [--store DIR]
 //! netcache sweep [apps...] [--archs A,B|all] [--jobs N] [--scale S]
-//!                [--procs P] [--ring-kbs K,K,...] [--json F] [--csv F]
+//!                [--procs P] [--ring-kbs K,K,...] [--topology T] [--rings C]
+//!                [--json F] [--csv F]
 //!                [--serial] [--quiet] [--store DIR|--no-store]  # grid sweep engine
 //! netcache trace <app> <dir> [--scale S] [--procs P]   # dump op streams
 //! netcache replay <dir> [--arch A] [--procs P]         # run dumped traces
@@ -14,6 +16,11 @@
 //! ```
 //!
 //! Architectures: `netcache` (default), `lambdanet`, `dmon-u`, `dmon-i`.
+//!
+//! Topologies: `single` (default, the paper's one shared ring),
+//! `multi-ring` (C cache rings striped by block address; set C with
+//! `--rings`), `star-of-rings` (clusters of up to 16 nodes, each with a
+//! private cache ring, under a root star).
 //!
 //! `sweep` runs the full (architecture × application) grid by default —
 //! the paper's Fig. 6 — fanning independent simulations across `--jobs`
@@ -34,7 +41,9 @@ use std::process::exit;
 use netcache::apps::{trace, AppId, OpStream, Workload};
 use netcache::mem::AddressMap;
 use netcache::sweep::{NoopObserver, StderrProgress, SweepObserver, SweepResult, SweepSpec};
-use netcache::{run_app, run_workload_pdes, Arch, EngineScratch, Machine, Store, SysConfig};
+use netcache::{
+    run_app, run_workload_pdes, Arch, EngineScratch, Machine, Store, SysConfig, TopoKind,
+};
 
 struct Args {
     positional: Vec<String>,
@@ -44,6 +53,10 @@ struct Args {
     procs: usize,
     ring_kb: Option<u64>,
     ring_kbs: Option<Vec<u64>>,
+    /// Fabric topology (default: the single ring).
+    topology: Option<TopoKind>,
+    /// Cache-ring count C for `--topology multi-ring`.
+    rings: Option<usize>,
     jobs: Option<usize>,
     /// Partition count for the conservative-PDES engine (0 = serial).
     pdes: usize,
@@ -64,7 +77,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: netcache <run|compare|sweep|trace|replay|profile|bench-engine|bench-compare> ... \
          [--arch netcache|lambdanet|dmon-u|dmon-i] [--scale S] [--procs P] [--ring-kb K] \
-         [--pdes N]\n\
+         [--topology single|multi-ring|star-of-rings] [--rings C] [--pdes N]\n\
          sweep flags: [--archs A,B|all] [--jobs N] [--ring-kbs K,K,...] \
          [--json FILE] [--csv FILE] [--serial] [--quiet] [--store DIR|--no-store]\n\
          bench-compare flags: --baseline FILE [--tolerance T]\n\
@@ -121,6 +134,8 @@ fn parse_args() -> Args {
         procs: 16,
         ring_kb: None,
         ring_kbs: None,
+        topology: None,
+        rings: None,
         jobs: None,
         pdes: 0,
         json: None,
@@ -164,6 +179,8 @@ fn parse_args() -> Args {
                         .collect(),
                 );
             }
+            "--topology" => args.topology = Some(parse_topology(&grab("--topology"))),
+            "--rings" => args.rings = Some(parse_count("--rings", &grab("--rings"))),
             "--jobs" => args.jobs = Some(parse_count("--jobs", &grab("--jobs"))),
             "--pdes" => args.pdes = parse_count("--pdes", &grab("--pdes")),
             "--json" => args.json = Some(grab("--json")),
@@ -188,7 +205,29 @@ fn parse_args() -> Args {
         eprintln!("--store and --no-store conflict: pass at most one of them");
         exit(2)
     }
+    // `--rings` is meaningful only for the striped multi-ring fabric; on
+    // any other topology a silently ignored value would misrepresent the
+    // machine that actually ran.
+    if args.rings.is_some() && args.topology != Some(TopoKind::MultiRing) {
+        eprintln!(
+            "invalid use of --rings: it selects the cache-ring count for \
+             --topology multi-ring, which was not requested"
+        );
+        exit(2)
+    }
     args
+}
+
+/// Parses `--topology`, naming the flag and the accepted fabrics on
+/// failure (same exit-2 convention as [`parse_num`]).
+fn parse_topology(v: &str) -> TopoKind {
+    TopoKind::parse(v).unwrap_or_else(|| {
+        eprintln!(
+            "invalid value {v:?} for --topology: expected one of {}",
+            TopoKind::ALL.map(|k| k.name()).join(", ")
+        );
+        exit(2)
+    })
 }
 
 /// Opens the `--store` directory, if one was requested. Failures (path
@@ -221,6 +260,24 @@ fn config(args: &Args) -> SysConfig {
     let mut cfg = SysConfig::base(args.arch).with_nodes(args.procs);
     if let Some(kb) = args.ring_kb {
         cfg = cfg.with_ring_kb(kb);
+    }
+    cfg = apply_topology(cfg, args);
+    cfg
+}
+
+/// Applies `--topology`/`--rings` to a config; a combination the fabric
+/// rejects (e.g. a star over a node count that doesn't tile into
+/// clusters) exits 2 with the validator's message.
+fn apply_topology(mut cfg: SysConfig, args: &Args) -> SysConfig {
+    if let Some(kind) = args.topology {
+        cfg = cfg.with_topology(kind);
+    }
+    if let Some(r) = args.rings {
+        cfg = cfg.with_rings(r);
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid --topology/--rings configuration: {e}");
+        exit(2)
     }
     cfg
 }
@@ -460,6 +517,13 @@ fn main() {
                 .pdes(args.pdes);
             if let Some(kbs) = &args.ring_kbs {
                 spec = spec.ring_kb(kbs.iter().copied());
+            }
+            if args.topology.is_some() || args.rings.is_some() {
+                // Validate the combination on the base machine first so a
+                // bad flag pairing exits 2 here instead of panicking
+                // inside the sweep builder.
+                let cfg = apply_topology(SysConfig::base(args.arch).with_nodes(args.procs), &args);
+                spec = spec.topologies([(cfg.topo.kind, cfg.topo.rings)]);
             }
             let sweep = spec.build();
             let jobs = args.jobs.unwrap_or_else(|| {

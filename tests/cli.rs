@@ -1,0 +1,104 @@
+//! Adversarial CLI tests for the topology flags.
+//!
+//! The driver's contract for bad flag values is exit code 2 with a
+//! diagnostic that **names the offending flag** — never a panic, never a
+//! silently coerced machine. These tests shell out to the real binary
+//! (`CARGO_BIN_EXE_netcache`) so they pin the process-level behavior a
+//! script caller actually sees: exit status, stderr wording, and the
+//! absence of a simulation run on the bad path.
+
+use std::process::Command;
+
+fn netcache(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_netcache"))
+        .args(args)
+        .output()
+        .expect("spawn netcache binary")
+}
+
+fn stderr_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// An unknown fabric name must exit 2 naming `--topology` and listing
+/// the accepted kinds, so the caller can fix the spelling without
+/// consulting the source.
+#[test]
+fn unknown_topology_name_exits_two_naming_the_flag() {
+    let out = netcache(&["run", "sor", "--topology", "torus"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("--topology"), "flag not named: {err}");
+    assert!(err.contains("\"torus\""), "bad value not echoed: {err}");
+    for kind in ["single", "multi-ring", "star-of-rings"] {
+        assert!(err.contains(kind), "{kind} missing from suggestions: {err}");
+    }
+}
+
+/// `--rings 0` is a machine with no cache rings — meaningless, and the
+/// count parser must reject it by name instead of letting a modulo-zero
+/// panic surface from the striping math.
+#[test]
+fn zero_rings_exits_two_naming_the_flag() {
+    let out = netcache(&["run", "sor", "--topology", "multi-ring", "--rings", "0"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("--rings"), "flag not named: {err}");
+    assert!(err.contains("at least 1"), "no lower-bound hint: {err}");
+}
+
+/// `--rings` on a topology that ignores it would silently misdescribe
+/// the machine that ran, so pairing it with anything but `multi-ring`
+/// (including the implicit default) is an error naming `--rings`.
+#[test]
+fn rings_without_multi_ring_exits_two_naming_the_flag() {
+    for extra in [
+        &[][..],
+        &["--topology", "single"],
+        &["--topology", "star-of-rings"],
+    ] {
+        let mut args = vec!["run", "sor", "--rings", "4"];
+        args.extend_from_slice(extra);
+        let out = netcache(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}, stderr: {}",
+            stderr_of(&out)
+        );
+        let err = stderr_of(&out);
+        assert!(err.contains("--rings"), "flag not named ({args:?}): {err}");
+        assert!(
+            err.contains("multi-ring"),
+            "fix not suggested ({args:?}): {err}"
+        );
+    }
+}
+
+/// A fabric that fails machine validation (a star over a node count that
+/// tiles into unequal clusters) is a configuration error, not a panic:
+/// exit 2, naming the topology flags.
+#[test]
+fn invalid_topology_shape_exits_two() {
+    let out = netcache(&["run", "sor", "--topology", "star-of-rings", "--procs", "24"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("--topology"), "flag not named: {err}");
+}
+
+/// The good path stays good: a valid non-default fabric runs to
+/// completion and reports the fabric it simulated.
+#[test]
+fn valid_topology_runs_clean() {
+    let out = netcache(&[
+        "run",
+        "sor",
+        "--topology",
+        "multi-ring",
+        "--rings",
+        "2",
+        "--scale",
+        "0.02",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}

@@ -16,7 +16,7 @@
 //! ```
 
 use netcache::apps::{AppId, Workload};
-use netcache::{run_app, Arch, SysConfig};
+use netcache::{run_app, Arch, SysConfig, TopoKind};
 
 /// The pinned grid: `(arch, app, nodes, scale-per-mille, digest)`.
 /// Scale is stored ×1000 so the table stays integer-only.
@@ -83,10 +83,35 @@ const GOLDEN: &[(Arch, AppId, usize, u32, u64)] = &[
     (Arch::DmonI, AppId::Gauss, 64, 50, 0xea2a4ab2a10634cf),
 ];
 
+/// Non-default-topology cells:
+/// `(arch, app, nodes, scale-per-mille, kind, rings, digest)`.
+///
+/// Multi-ring at both stripe counts exercises split-channel ring
+/// geometry; the 64-node star-of-rings cells exercise cross-cluster
+/// hops, probe bypass, and per-cluster rings — on the ring architecture
+/// and on an invalidate baseline (which sees only the latency change).
+/// Regenerate with `--ignored --nocapture regen_topo`.
+#[rustfmt::skip]
+const GOLDEN_TOPO: &[(Arch, AppId, usize, u32, TopoKind, usize, u64)] = &[
+    (Arch::NetCache, AppId::Sor, 16, 50, TopoKind::MultiRing, 2, 0x6cd7159199587d23),
+    (Arch::NetCache, AppId::Gauss, 16, 50, TopoKind::MultiRing, 4, 0x75bbcfeaa86a6349),
+    (Arch::NetCache, AppId::Sor, 64, 50, TopoKind::StarOfRings, 1, 0x68296293929c4cf6),
+    (Arch::DmonI, AppId::Gauss, 64, 50, TopoKind::StarOfRings, 1, 0x478b49346dea42d2),
+];
+
 fn report_cell(arch: Arch, app: AppId, nodes: usize, scale_pm: u32) -> netcache::RunReport {
     let cfg = SysConfig::base(arch).with_nodes(nodes);
     let wl = Workload::new(app, nodes).scale(scale_pm as f64 / 1000.0);
     run_app(&cfg, &wl)
+}
+
+fn topo_cfg(arch: Arch, nodes: usize, kind: TopoKind, rings: usize) -> SysConfig {
+    let cfg = SysConfig::base(arch)
+        .with_nodes(nodes)
+        .with_topology(kind)
+        .with_rings(rings);
+    cfg.validate().expect("golden topology cell must be valid");
+    cfg
 }
 
 fn digest_cell(arch: Arch, app: AppId, nodes: usize, scale_pm: u32) -> u64 {
@@ -171,6 +196,69 @@ fn golden_grid_reproduces_under_pdes() {
     );
 }
 
+/// The topology lattice pins the new fabrics the same way the main grid
+/// pins the default one: bit-for-bit, serial and partitioned alike.
+#[test]
+fn golden_topology_cells_reproduce_bit_for_bit() {
+    let mut bad = Vec::new();
+    for &(arch, app, nodes, scale_pm, kind, rings, want) in GOLDEN_TOPO {
+        let cfg = topo_cfg(arch, nodes, kind, rings);
+        let wl = Workload::new(app, nodes).scale(scale_pm as f64 / 1000.0);
+        let got = run_app(&cfg, &wl).digest();
+        if got != want {
+            bad.push(format!(
+                "{:?}/{}/n{}/{:?}x{}: expected {:#018x}, got {:#018x}",
+                arch,
+                app.name(),
+                nodes,
+                kind,
+                rings,
+                want,
+                got
+            ));
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "golden topology digests diverged:\n{}",
+        bad.join("\n")
+    );
+}
+
+/// The same topology cells under the partitioned engine: the trait-derived
+/// lookahead (`min_hop_latency + 1`) must keep PDES runs bit-identical on
+/// clustered fabrics too, where partitions cut across cluster boundaries.
+#[test]
+fn golden_topology_cells_reproduce_under_pdes() {
+    let mut scratch = netcache::EngineScratch::new();
+    let mut bad = Vec::new();
+    for &(arch, app, nodes, scale_pm, kind, rings, want) in GOLDEN_TOPO {
+        let cfg = topo_cfg(arch, nodes, kind, rings);
+        let wl = Workload::new(app, nodes).scale(scale_pm as f64 / 1000.0);
+        for parts in [4, nodes] {
+            let got = netcache::run_workload_pdes(&cfg, &wl, parts, &mut scratch).digest();
+            if got != want {
+                bad.push(format!(
+                    "{:?}/{}/n{}/{:?}x{}/pdes{}: expected {:#018x}, got {:#018x}",
+                    arch,
+                    app.name(),
+                    nodes,
+                    kind,
+                    rings,
+                    parts,
+                    want,
+                    got
+                ));
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "PDES diverged on topology cells:\n{}",
+        bad.join("\n")
+    );
+}
+
 /// Prints the table body with fresh digests. Run with `--ignored` after an
 /// *intentional* model change, and paste the output over `GOLDEN`.
 #[test]
@@ -181,6 +269,21 @@ fn regen() {
         println!(
             "    (Arch::{:?}, AppId::{:?}, {}, {}, {:#018x}),",
             arch, app, nodes, scale_pm, d
+        );
+    }
+}
+
+/// [`regen`] for the topology lattice: prints `GOLDEN_TOPO` rows.
+#[test]
+#[ignore]
+fn regen_topo() {
+    for &(arch, app, nodes, scale_pm, kind, rings, _) in GOLDEN_TOPO {
+        let cfg = topo_cfg(arch, nodes, kind, rings);
+        let wl = Workload::new(app, nodes).scale(scale_pm as f64 / 1000.0);
+        let d = run_app(&cfg, &wl).digest();
+        println!(
+            "    (Arch::{:?}, AppId::{:?}, {}, {}, TopoKind::{:?}, {}, {:#018x}),",
+            arch, app, nodes, scale_pm, kind, rings, d
         );
     }
 }

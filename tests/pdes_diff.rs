@@ -11,10 +11,15 @@
 //! partition counts, pins that claim against the serial oracle.
 
 use netcache::apps::{AppId, Workload};
-use netcache::{run_workload_pdes, Arch, EngineScratch, SysConfig};
+use netcache::{run_workload_pdes, Arch, EngineScratch, SysConfig, TopoKind};
 
 fn diff_cell(arch: Arch, app: AppId, nodes: usize, scale: f64, parts: &[usize]) {
-    let cfg = SysConfig::base(arch).with_nodes(nodes);
+    diff_cfg(SysConfig::base(arch).with_nodes(nodes), app, scale, parts)
+}
+
+fn diff_cfg(cfg: SysConfig, app: AppId, scale: f64, parts: &[usize]) {
+    let arch = cfg.arch;
+    let nodes = cfg.nodes;
     let wl = Workload::new(app, nodes).scale(scale);
     let serial = netcache::run_workload(&cfg, &wl, &mut EngineScratch::new());
     // One scratch across partition counts: reuse must never leak state.
@@ -94,4 +99,33 @@ fn odd_partition_shapes_match_serial() {
 #[test]
 fn sixty_four_nodes_pdes_matches_serial() {
     diff_cell(Arch::NetCache, AppId::Sor, 64, 0.02, &[2, 64]);
+}
+
+/// Non-default fabrics: the lookahead fence is now derived from the
+/// topology's `min_hop_latency`, and a star-of-rings makes cross-cluster
+/// hops *slower* than the fence — legal only because partitions are
+/// contiguous node blocks, so the cheap intra-cluster hop is the one
+/// that can cross a lane boundary. Striped rings (C=2, C=4) split the
+/// ring servers the lanes contend on. Both must still replay the serial
+/// order exactly, at partition counts that do and don't align with
+/// cluster boundaries.
+#[test]
+fn non_default_topologies_pdes_match_serial() {
+    for rings in [2usize, 4] {
+        let cfg = SysConfig::base(Arch::NetCache)
+            .with_nodes(16)
+            .with_topology(TopoKind::MultiRing)
+            .with_rings(rings);
+        cfg.validate().expect("multi-ring cell must be valid");
+        diff_cfg(cfg, AppId::Sor, 0.05, &[2, 3, 16]);
+    }
+    for arch in [Arch::NetCache, Arch::DmonI] {
+        let cfg = SysConfig::base(arch)
+            .with_nodes(64)
+            .with_topology(TopoKind::StarOfRings);
+        cfg.validate().expect("star cell must be valid");
+        // 4 partitions align with the four 16-node clusters; 6 and 64
+        // straddle them, so cross-cluster frames cross lanes mid-flight.
+        diff_cfg(cfg, AppId::Gauss, 0.02, &[4, 6, 64]);
+    }
 }
